@@ -1,0 +1,70 @@
+// Command nimble-compile builds one of the built-in models and writes its
+// serialized VM executable — the "Nimble executable" of Figure 2, containing
+// platform-independent bytecode and the kernel name table. Running it later
+// requires relinking kernels (nimble-run does this by rebuilding the same
+// model deterministically).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nimble/internal/compiler"
+	"nimble/internal/ir"
+	"nimble/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "lstm", "model to compile: lstm | lstm2 | treelstm | bert | bert-base")
+	out := flag.String("o", "model.nimble", "output executable path")
+	target := flag.String("target", "cpu", "target device: cpu | gpu")
+	dispatch := flag.Int("dispatch", 8, "symbolic dense dispatch width (1, 2, 4, 8)")
+	flag.Parse()
+
+	mod, err := buildModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := compiler.Options{}
+	if *target == "gpu" {
+		opts.Target = ir.GPU(0)
+	}
+	opts.Codegen.Dispatch = *dispatch
+	res, err := compiler.Compile(mod, opts)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := res.Exe.WriteTo(f)
+	if err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	fmt.Printf("compiled %s: %d instructions, %d kernels, %d constants, %d bytes -> %s\n",
+		*model, res.Stats.Instructions, res.Stats.Kernels, len(res.Exe.Consts), n, *out)
+	fmt.Printf("fusion: %d groups (%d ops); allocs: %d static, %d dynamic; coalesced: %d -> %d\n",
+		res.Stats.Fusion.Groups, res.Stats.Fusion.OpsFused,
+		res.Stats.Alloc.StaticAllocs, res.Stats.Alloc.DynamicAllocs,
+		res.Stats.Coalesce.Before, res.Stats.Coalesce.After)
+}
+
+func buildModel(name string) (*ir.Module, error) {
+	switch name {
+	case "lstm":
+		return models.NewLSTM(models.DefaultLSTMConfig(1)).Module, nil
+	case "lstm2":
+		return models.NewLSTM(models.DefaultLSTMConfig(2)).Module, nil
+	case "treelstm":
+		return models.NewTreeLSTM(models.DefaultTreeLSTMConfig()).Module, nil
+	case "bert":
+		return models.NewBERT(models.BERTReduced()).Module, nil
+	case "bert-base":
+		return models.NewBERT(models.BERTBase()).Module, nil
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}

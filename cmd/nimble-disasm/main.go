@@ -1,0 +1,36 @@
+// Command nimble-disasm prints the bytecode of a serialized executable —
+// functions, the 20-instruction ISA stream, kernel names, and constant-pool
+// metadata.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nimble/internal/vm"
+)
+
+func main() {
+	flag.Parse()
+	path := "model.nimble"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	exe, err := vm.ReadExecutable(f)
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Print(exe.Disassemble())
+	fmt.Printf("kernels (%d):\n", len(exe.KernelNames))
+	for i, k := range exe.KernelNames {
+		fmt.Printf("  #%-3d %s\n", i, k)
+	}
+	fmt.Printf("constants: %d\n", len(exe.Consts))
+}

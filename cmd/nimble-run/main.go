@@ -1,0 +1,94 @@
+// Command nimble-run loads a serialized executable produced by
+// nimble-compile, relinks its kernels by recompiling the same model, and
+// runs one inference on synthetic input, printing latency and the VM
+// profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"nimble/internal/compiler"
+	"nimble/internal/models"
+	"nimble/internal/vm"
+)
+
+func main() {
+	model := flag.String("model", "lstm", "model the executable was compiled from: lstm | lstm2 | treelstm | bert")
+	in := flag.String("exe", "model.nimble", "executable path")
+	length := flag.Int("len", 26, "sequence length / tree size")
+	profile := flag.Bool("profile", false, "print the VM instruction profile")
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exe, err := vm.ReadExecutable(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	var input vm.Object
+	var registry map[string]vm.PackedFunc
+	switch *model {
+	case "lstm", "lstm2":
+		layers := 1
+		if *model == "lstm2" {
+			layers = 2
+		}
+		m := models.NewLSTM(models.DefaultLSTMConfig(layers))
+		res, err := compiler.Compile(m.Module, compiler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry = res.Registry
+		input = m.RandomSequence(rng, *length)
+	case "treelstm":
+		m := models.NewTreeLSTM(models.DefaultTreeLSTMConfig())
+		res, err := compiler.Compile(m.Module, compiler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry = res.Registry
+		input = m.ToObject(models.RandomTree(rng, *length, m.Config.Input))
+	case "bert":
+		m := models.NewBERT(models.BERTReduced())
+		res, err := compiler.Compile(m.Module, compiler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry = res.Registry
+		input = vm.NewTensorObj(m.RandomIDs(rng, *length))
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	if err := exe.LinkKernels(registry); err != nil {
+		log.Fatalf("link: %v", err)
+	}
+
+	machine := vm.New(exe)
+	prof := vm.NewProfiler()
+	machine.SetProfiler(prof)
+	start := time.Now()
+	out, err := machine.Invoke("main", input)
+	lat := time.Since(start)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if t, ok := out.(*vm.TensorObj); ok {
+		fmt.Printf("output: %s in %v (%.1f µs/token)\n", t.T, lat,
+			float64(lat.Microseconds())/float64(*length))
+	} else {
+		fmt.Printf("output: %T in %v\n", out, lat)
+	}
+	if *profile {
+		fmt.Print(prof.Summary())
+	}
+}

@@ -1,0 +1,66 @@
+package baselines
+
+import (
+	"nimble/internal/kernels"
+	"nimble/internal/tensor"
+)
+
+// BuildDataflowBERT constructs the straight-line dataflow graph a
+// define-then-run framework executes for a transformer encoder. There is no
+// control flow, but every operator is still a scheduled node (ready-queue
+// pop, value-map writes), and no fusion happens — the structural gap to
+// Nimble on Table 3.
+func BuildDataflowBERT(m *EagerBERT, ids *tensor.Tensor) *DFGraph {
+	g := NewDFGraph()
+	cfg := m.Cfg
+	headDim := cfg.Hidden / cfg.Heads
+
+	k1 := func(name string, fn func(*tensor.Tensor) *tensor.Tensor, a int) int {
+		return g.Kernel(name, func(t []*tensor.Tensor) *tensor.Tensor { return fn(t[0]) }, a)
+	}
+	k2 := func(name string, fn func(a, b *tensor.Tensor) *tensor.Tensor, a, b int) int {
+		return g.Kernel(name, func(t []*tensor.Tensor) *tensor.Tensor { return fn(t[0], t[1]) }, a, b)
+	}
+	idsN := g.Const(ids)
+	x := k2("take", kernels.Take, g.Const(m.Emb.T), idsN)
+	scale := g.Const(tensor.Scalar(1 / float32(sqrtf(float64(headDim)))))
+
+	for _, l := range m.Layers {
+		dense := func(in, w, b int) int {
+			return k2("add", kernels.Add, k2("matmul", kernels.MatMul, in, w), b)
+		}
+		q := dense(x, g.Const(l.wq.T), g.Const(l.bq.T))
+		k := dense(x, g.Const(l.wk.T), g.Const(l.bk.T))
+		v := dense(x, g.Const(l.wv.T), g.Const(l.bv.T))
+		heads := make([]int, cfg.Heads)
+		for h := 0; h < cfg.Heads; h++ {
+			lo, hi := h*headDim, (h+1)*headDim
+			sl := func(in int) int {
+				return g.Kernel("slice", func(t []*tensor.Tensor) *tensor.Tensor {
+					return kernels.Slice(t[0], 1, lo, hi)
+				}, in)
+			}
+			qh, kh, vh := sl(q), sl(k), sl(v)
+			kT := k1("transpose", func(t *tensor.Tensor) *tensor.Tensor {
+				return kernels.Transpose(t, nil)
+			}, kh)
+			scores := k2("matmul", kernels.MatMul, qh, kT)
+			probs := k1("softmax", kernels.Softmax, k2("mul", kernels.Mul, scores, scale))
+			heads[h] = k2("matmul", kernels.MatMul, probs, vh)
+		}
+		ctx := g.Kernel("concat", func(t []*tensor.Tensor) *tensor.Tensor {
+			return kernels.Concat(t, 1)
+		}, heads...)
+		attn := dense(ctx, g.Const(l.wo.T), g.Const(l.bo.T))
+		ln1 := g.Kernel("layer_norm", func(t []*tensor.Tensor) *tensor.Tensor {
+			return kernels.LayerNorm(t[0], t[1], t[2], 1e-5)
+		}, k2("add", kernels.Add, x, attn), g.Const(l.g1.T), g.Const(l.b1.T))
+		f1 := dense(ln1, g.Const(l.f1w.T), g.Const(l.f1b.T))
+		f2 := dense(k1("gelu", kernels.Gelu, f1), g.Const(l.f2w.T), g.Const(l.f2b.T))
+		x = g.Kernel("layer_norm", func(t []*tensor.Tensor) *tensor.Tensor {
+			return kernels.LayerNorm(t[0], t[1], t[2], 1e-5)
+		}, k2("add", kernels.Add, ln1, f2), g.Const(l.g2.T), g.Const(l.b2.T))
+	}
+	g.Output = x
+	return g
+}

@@ -1,0 +1,151 @@
+package baselines
+
+import (
+	"sort"
+
+	"nimble/internal/kernels"
+	"nimble/internal/models"
+	"nimble/internal/tensor"
+)
+
+// StaticLSTM is the "reduce the dynamic model to a static one" baseline of
+// §2.1: the network is unrolled to a maximal length at build time, inputs
+// are padded, and every invocation executes all MaxLen steps regardless of
+// the true sequence length. It stands in for the static-compiler treatment
+// of RNNs (DeepCPU-style padding), and its wasted steps are why dynamic
+// support matters.
+type StaticLSTM struct {
+	MaxLen int
+	cells  []EagerLSTMCell
+	// steps is the pre-compiled unrolled program: one closure per (step,
+	// layer), fixed at build time like a static graph runtime's op list.
+	program []func(state []*tensor.Tensor, x *tensor.Tensor)
+	// PaddedSteps counts executed padding steps (for reports).
+	PaddedSteps int64
+}
+
+// NewStaticLSTM unrolls the model to maxLen.
+func NewStaticLSTM(m *models.LSTM, maxLen int) *StaticLSTM {
+	e := NewEager()
+	s := &StaticLSTM{MaxLen: maxLen, cells: e.CellsFromModel(m)}
+	for step := 0; step < maxLen; step++ {
+		for li := range s.cells {
+			cell := s.cells[li]
+			layer := li
+			s.program = append(s.program, func(state []*tensor.Tensor, x *tensor.Tensor) {
+				in := x
+				if layer > 0 {
+					in = state[2*(layer-1)]
+				}
+				h, c := staticLSTMStep(cell, in, state[2*layer], state[2*layer+1])
+				state[2*layer], state[2*layer+1] = h, c
+			})
+		}
+	}
+	return s
+}
+
+func staticLSTMStep(cell EagerLSTMCell, x, h, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	hd := cell.Hidden
+	gates := kernels.Add(kernels.Add(kernels.MatMul(x, cell.Wx.T), kernels.MatMul(h, cell.Wh.T)), cell.Bias.T)
+	i := kernels.Sigmoid(kernels.Slice(gates, 1, 0, hd))
+	f := kernels.Sigmoid(kernels.Slice(gates, 1, hd, 2*hd))
+	g := kernels.Tanh(kernels.Slice(gates, 1, 2*hd, 3*hd))
+	o := kernels.Sigmoid(kernels.Slice(gates, 1, 3*hd, 4*hd))
+	cNew := kernels.Add(kernels.Mul(f, c), kernels.Mul(i, g))
+	return kernels.Mul(o, kernels.Tanh(cNew)), cNew
+}
+
+// Run pads the sequence to MaxLen (zero steps) and executes the full
+// unrolled program.
+func (s *StaticLSTM) Run(steps []*tensor.Tensor) *tensor.Tensor {
+	if len(steps) > s.MaxLen {
+		steps = steps[:s.MaxLen]
+	}
+	inputDim := steps[0].Shape()[1]
+	zeroStep := tensor.New(tensor.Float32, 1, inputDim)
+	state := make([]*tensor.Tensor, 2*len(s.cells))
+	for i := range s.cells {
+		state[2*i] = tensor.New(tensor.Float32, 1, s.cells[i].Hidden)
+		state[2*i+1] = tensor.New(tensor.Float32, 1, s.cells[i].Hidden)
+	}
+	pc := 0
+	for step := 0; step < s.MaxLen; step++ {
+		x := zeroStep
+		if step < len(steps) {
+			x = steps[step]
+		} else {
+			s.PaddedSteps++
+		}
+		for range s.cells {
+			s.program[pc](state, x)
+			pc++
+		}
+	}
+	return state[2*(len(s.cells)-1)]
+}
+
+// --- Static memory planner (the TVM whole-graph baseline of §6.3) ---
+
+// Interval is one buffer's size and live range in a linearized graph.
+type Interval struct {
+	Size   int
+	Lo, Hi int
+}
+
+// OptimalStaticPlan computes the liveness-based best-fit footprint a static
+// compiler achieves when every size and lifetime is known at compile time.
+// Nimble's chain-local coalescing is compared against this to reproduce the
+// "up to 8% more memory footprint" concession of §6.3.
+func OptimalStaticPlan(ivs []Interval) int {
+	// Sort by start; greedily assign each buffer to the smallest free slot
+	// whose previous occupant died, growing the arena otherwise.
+	sorted := append([]Interval{}, ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	type slot struct {
+		size   int
+		freeAt int
+	}
+	var slots []slot
+	total := 0
+	for _, iv := range sorted {
+		best := -1
+		for si, s := range slots {
+			if s.freeAt <= iv.Lo && s.size >= iv.Size {
+				if best < 0 || slots[best].size > s.size {
+					best = si
+				}
+			}
+		}
+		if best >= 0 {
+			slots[best].freeAt = iv.Hi
+			continue
+		}
+		// Try growing a free-but-small slot before adding a new one (a
+		// static planner can resize because it plans the whole arena).
+		grew := false
+		for si, s := range slots {
+			if s.freeAt <= iv.Lo {
+				total += iv.Size - s.size
+				slots[si].size = iv.Size
+				slots[si].freeAt = iv.Hi
+				grew = true
+				break
+			}
+		}
+		if !grew {
+			slots = append(slots, slot{size: iv.Size, freeAt: iv.Hi})
+			total += iv.Size
+		}
+	}
+	return total
+}
+
+// SumSizes is the no-reuse footprint (every buffer distinct).
+func SumSizes(ivs []Interval) int {
+	t := 0
+	for _, iv := range ivs {
+		t += iv.Size
+	}
+	return t
+}

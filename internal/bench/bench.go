@@ -1,0 +1,156 @@
+// Package bench is the evaluation harness: one entry point per table and
+// figure of the paper's §6, each returning a structured result that prints
+// in the paper's row/column layout. Host-CPU columns are measured on real
+// executions; ARM-CPU and Nvidia-GPU columns are produced by the
+// internal/platform cost model and labeled "(sim)".
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"nimble/internal/data"
+	"nimble/internal/models"
+	"nimble/internal/platform"
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// Config bounds the harness's work.
+type Config struct {
+	// Quick shrinks sample counts and model sizes for CI-speed runs.
+	Quick bool
+	// Seed drives all samplers.
+	Seed int64
+}
+
+// DefaultConfig is the full evaluation configuration.
+func DefaultConfig() Config { return Config{Seed: 7} }
+
+func (c Config) samples(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// measure runs f `runs` times and returns total wall time.
+func measure(runs int, f func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	return time.Since(start)
+}
+
+// Cell is one table entry: a measured or simulated per-token latency.
+type Cell struct {
+	Value     float64 // µs/token
+	Simulated bool
+}
+
+func (c Cell) String() string {
+	if c.Value == 0 {
+		return "–"
+	}
+	if c.Simulated {
+		return fmt.Sprintf("%.1f (sim)", c.Value)
+	}
+	return fmt.Sprintf("%.1f", c.Value)
+}
+
+// Table is a generic result grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []string
+	Cells   map[string]map[string]Cell
+	Notes   []string
+}
+
+func newTable(title string, rows, cols []string) *Table {
+	t := &Table{Title: title, Columns: cols, Rows: rows, Cells: map[string]map[string]Cell{}}
+	for _, r := range rows {
+		t.Cells[r] = map[string]Cell{}
+	}
+	return t
+}
+
+func (t *Table) set(row, col string, v float64, simulated bool) {
+	t.Cells[row][col] = Cell{Value: v, Simulated: simulated}
+}
+
+// Format renders the table.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%16s", c)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r)
+		for _, c := range t.Columns {
+			fmt.Fprintf(&b, "%16s", t.Cells[r][c].String())
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Speedup returns row a's value over row b's for a column (who-wins factor).
+func (t *Table) Speedup(slow, fast, col string) float64 {
+	f := t.Cells[fast][col].Value
+	if f == 0 {
+		return 0
+	}
+	return t.Cells[slow][col].Value / f
+}
+
+// nimbleWorkload converts a profiler run into the platform simulator's
+// workload units.
+func nimbleWorkload(prof *vm.Profiler, flops int64) platform.Workload {
+	kernels := prof.Counts[vm.OpInvokePacked]
+	return platform.Workload{
+		Kernels:     kernels,
+		Flops:       flops,
+		Bytes:       flops / 2, // roofline proxy: one 4-byte access per 2 flops
+		OtherInstrs: prof.TotalInstrs() - prof.Counts[vm.OpInvokePacked],
+		CopyBytes:   prof.CopyBytes,
+	}
+}
+
+// simulateColumns fills the Nvidia/ARM columns for a set of systems from
+// one profiled Nimble workload.
+func simulateColumns(t *Table, w platform.Workload, tokens int, systems map[string]platform.SystemTraits, cols map[string]platform.Platform) {
+	for colName, plat := range cols {
+		for rowName, sys := range systems {
+			lat := platform.Latency(plat, sys, w)
+			t.set(rowName, colName, platform.PerToken(lat, tokens), true)
+		}
+	}
+}
+
+// lstmInputs draws MRPC-profile sequences shared by Nimble and the
+// baseline executors; returns the sequences and total token count.
+func lstmInputs(cfg Config, m *models.LSTM, count int) ([][]*tensor.Tensor, int) {
+	sampler := data.NewMRPC(cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var seqs [][]*tensor.Tensor
+	tokens := 0
+	for i := 0; i < count; i++ {
+		n := sampler.Length()
+		if cfg.Quick && n > 24 {
+			n = 24
+		}
+		seqs = append(seqs, m.RandomSteps(rng, n))
+		tokens += n
+	}
+	return seqs, tokens
+}

@@ -1,0 +1,276 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nimble/internal/ir"
+	"nimble/internal/kernels"
+	"nimble/internal/tensor"
+)
+
+func TestOptionsNormalize(t *testing.T) {
+	o, err := Options{}.Normalize()
+	if err != nil || o.Dispatch != kernels.TileFactor {
+		t.Errorf("default dispatch = %d, %v", o.Dispatch, err)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		if _, err := (Options{Dispatch: k}).Normalize(); err != nil {
+			t.Errorf("dispatch %d rejected: %v", k, err)
+		}
+	}
+	if _, err := (Options{Dispatch: 3}).Normalize(); err == nil {
+		t.Error("dispatch 3 accepted")
+	}
+}
+
+func TestGenericKernelCopiesIntoPlannedBuffer(t *testing.T) {
+	op := ir.MustGetOp("add")
+	k, err := ForOp(op, nil, ir.TT(tensor.Float32, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "add" {
+		t.Errorf("name = %q", k.Name)
+	}
+	a := tensor.FromF32([]float32{1, 2}, 2)
+	b := tensor.FromF32([]float32{3, 4}, 2)
+	out := tensor.New(tensor.Float32, 2)
+	res, err := k.Fn([]*tensor.Tensor{a, b}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != out {
+		t.Error("result not placed in planned buffer")
+	}
+	if !out.Equal(tensor.FromF32([]float32{4, 6}, 2)) {
+		t.Errorf("add = %v", out.F32())
+	}
+	// nil out: kernel allocates.
+	res, err = k.Fn([]*tensor.Tensor{a, b}, nil)
+	if err != nil || res == nil {
+		t.Fatalf("nil-out path: %v", err)
+	}
+}
+
+func TestGenericKernelUpperBoundReturnsPrecise(t *testing.T) {
+	op := ir.MustGetOp("nms")
+	k, err := ForOp(op, ir.Attrs{"iou_threshold": 0.5}, ir.TT(tensor.Float32, ir.DimAny, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := tensor.FromF32([]float32{
+		0.9, 0, 0, 10, 10,
+		0.8, 1, 1, 11, 11,
+	}, 2, 5)
+	// Planned upper-bound buffer is 2 rows; precise output is 1 row.
+	out := tensor.New(tensor.Float32, 2, 5)
+	res, err := k.Fn([]*tensor.Tensor{boxes}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Shape().Equal(tensor.Shape{1, 5}) {
+		t.Errorf("precise shape = %v", res.Shape())
+	}
+}
+
+func TestKernelNamesEncodeAttrs(t *testing.T) {
+	op := ir.MustGetOp("sum")
+	k1, _ := ForOp(op, ir.Attrs{"axis": 0}, ir.TT(tensor.Float32, 2), Options{})
+	k2, _ := ForOp(op, ir.Attrs{"axis": 1}, ir.TT(tensor.Float32, 2), Options{})
+	if k1.Name == k2.Name {
+		t.Errorf("distinct attrs share kernel name %q", k1.Name)
+	}
+}
+
+func TestSymbolicDenseKernelSelected(t *testing.T) {
+	op := ir.MustGetOp("dense")
+	k, err := ForOp(op, nil, ir.TT(tensor.Float32, ir.DimAny, 16), Options{Dispatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Name, "dense_sym_dispatch4") {
+		t.Errorf("name = %q", k.Name)
+	}
+	// Static dense stays generic.
+	ks, err := ForOp(op, nil, ir.TT(tensor.Float32, 3, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ks.Name, "sym") {
+		t.Errorf("static dense got symbolic kernel %q", ks.Name)
+	}
+}
+
+func TestDispatchTableCorrectAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	kDim, n := 12, 10
+	for _, width := range []int{8, 4, 2, 1} {
+		table := BuildDispatchTable(width)
+		if table.Width != width {
+			t.Errorf("width = %d", table.Width)
+		}
+		for m := 1; m <= 2*kernels.TileFactor+3; m++ {
+			a := tensor.Random(rng, 1, m, kDim)
+			b := tensor.Random(rng, 1, kDim, n)
+			want := kernels.MatMulRef(a, b)
+			out := tensor.New(tensor.Float32, m, n)
+			table.Invoke(a, b, out)
+			if !out.AllClose(want, 1e-4, 1e-5) {
+				t.Errorf("width=%d m=%d: dispatch result wrong", width, m)
+			}
+		}
+	}
+}
+
+func TestSymbolicDenseViaPackedFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	op := ir.MustGetOp("dense")
+	for _, disp := range []int{8, 1} {
+		k, err := ForOp(op, nil, ir.TT(tensor.Float32, ir.DimAny, 8), Options{Dispatch: disp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := tensor.Random(rng, 1, 13, 8)
+		b := tensor.Random(rng, 1, 8, 6)
+		out := tensor.New(tensor.Float32, 13, 6)
+		res, err := k.Fn([]*tensor.Tensor{a, b}, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllClose(kernels.MatMulRef(a, b), 1e-4, 1e-5) {
+			t.Errorf("dispatch=%d symbolic dense wrong", disp)
+		}
+	}
+}
+
+func TestSymbolicDenseLibraryPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	op := ir.MustGetOp("dense")
+	k, err := ForOp(op, nil, ir.TT(tensor.Float32, ir.DimAny, 8),
+		Options{Dispatch: 8, LibraryThreshold: 4, LibraryWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Name, "lib4") {
+		t.Errorf("library threshold not in name: %q", k.Name)
+	}
+	a := tensor.Random(rng, 1, 32, 8) // above threshold: library path
+	b := tensor.Random(rng, 1, 8, 6)
+	out := tensor.New(tensor.Float32, 32, 6)
+	res, err := k.Fn([]*tensor.Tensor{a, b}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllClose(kernels.MatMulRef(a, b), 1e-4, 1e-5) {
+		t.Error("library path wrong")
+	}
+}
+
+func TestShapeFuncKernelDataIndependent(t *testing.T) {
+	op := ir.MustGetOp("concat")
+	k, err := ForShapeFunc(op, ir.Attrs{"axis": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(k.Name, "shape:concat") {
+		t.Errorf("name = %q", k.Name)
+	}
+	// Inputs are shape tensors.
+	s1 := tensor.ShapeTensor(tensor.Shape{3, 2})
+	s2 := tensor.ShapeTensor(tensor.Shape{1, 2})
+	res, err := k.Fn([]*tensor.Tensor{s1, s2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := res.ToShape()
+	if err != nil || !shape.Equal(tensor.Shape{4, 2}) {
+		t.Errorf("concat shape func = %v, %v", shape, err)
+	}
+}
+
+func TestShapeFuncKernelDataDependent(t *testing.T) {
+	op := ir.MustGetOp("arange")
+	k, err := ForShapeFunc(op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs are the operator's values themselves.
+	res, err := k.Fn([]*tensor.Tensor{tensor.Scalar(0), tensor.Scalar(6), tensor.Scalar(2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := res.ToShape()
+	if err != nil || !shape.Equal(tensor.Shape{3}) {
+		t.Errorf("arange shape func = %v, %v", shape, err)
+	}
+}
+
+func TestShapeFuncKernelMissing(t *testing.T) {
+	op := &ir.Op{Name: "noshape"}
+	if _, err := ForShapeFunc(op, nil); err == nil {
+		t.Error("missing shape function accepted")
+	}
+}
+
+func TestMatMulWithConfigCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := tensor.Random(rng, 1, 9, 7)
+	b := tensor.Random(rng, 1, 7, 11)
+	want := kernels.MatMulRef(a, b)
+	for _, cfg := range DefaultSearchSpace() {
+		out := tensor.New(tensor.Float32, 9, 11)
+		MatMulWithConfig(a, b, out, cfg)
+		if !out.AllClose(want, 1e-4, 1e-5) {
+			t.Errorf("config %v wrong", cfg)
+		}
+	}
+	// Degenerate configs fall back safely.
+	out := tensor.New(tensor.Float32, 9, 11)
+	MatMulWithConfig(a, b, out, TileConfig{})
+	if !out.AllClose(want, 1e-4, 1e-5) {
+		t.Error("zero config wrong")
+	}
+}
+
+func TestTuneSymbolicDense(t *testing.T) {
+	// Tiny problem so the test stays fast; assert the strategy's structure
+	// rather than exact timings.
+	space := []TileConfig{{1, 16}, {8, 64}, {4, 32}}
+	res := TuneSymbolicDense(16, 16, space, TunerOptions{
+		K: 2, StaticDim: 32, MaxShape: 64, Repeats: 1, Seed: 1,
+	})
+	if len(res.TopK) != 2 {
+		t.Errorf("TopK = %v", res.TopK)
+	}
+	if res.StaticShapeUsed != 32 {
+		t.Errorf("static dim = %d", res.StaticShapeUsed)
+	}
+	// Shapes evaluated: 2,4,...,64 (powers of two, per §4.5).
+	if len(res.ShapesEvaluated) != 6 || res.ShapesEvaluated[0] != 2 || res.ShapesEvaluated[5] != 64 {
+		t.Errorf("shapes = %v", res.ShapesEvaluated)
+	}
+	// Measurement count: one static round over the space, plus topK x shapes
+	// — far fewer than tuning every shape.
+	wantMeasure := len(space) + 2*len(res.ShapesEvaluated)
+	if res.MeasuredConfigs != wantMeasure {
+		t.Errorf("measurements = %d, want %d", res.MeasuredConfigs, wantMeasure)
+	}
+	if naive := NaiveTuningCost(len(space), 256); naive <= res.MeasuredConfigs {
+		t.Errorf("symbolic tuning (%d) not cheaper than naive (%d)", res.MeasuredConfigs, naive)
+	}
+	// Best must be one of the top-k.
+	found := false
+	for _, c := range res.TopK {
+		if c == res.Best {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("best %v not in topK %v", res.Best, res.TopK)
+	}
+	if TileFactorOfBest(res) != res.Best.RowTile {
+		t.Error("TileFactorOfBest broken")
+	}
+}

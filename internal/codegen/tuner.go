@@ -1,0 +1,208 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nimble/internal/kernels"
+	"nimble/internal/tensor"
+)
+
+// TileConfig is one point in the dense-kernel schedule space: the row tile
+// (register blocking) and the column block (cache blocking). It is the
+// reproduction's analogue of a template-based schedule configuration.
+type TileConfig struct {
+	RowTile  int
+	ColBlock int
+}
+
+func (c TileConfig) String() string { return fmt.Sprintf("rt%d/cb%d", c.RowTile, c.ColBlock) }
+
+// DefaultSearchSpace enumerates the schedule template's configuration grid.
+func DefaultSearchSpace() []TileConfig {
+	var out []TileConfig
+	for _, rt := range []int{1, 2, 4, 8} {
+		for _, cb := range []int{16, 32, 64, 128, 256} {
+			out = append(out, TileConfig{RowTile: rt, ColBlock: cb})
+		}
+	}
+	return out
+}
+
+// MatMulWithConfig runs a dense kernel under an arbitrary schedule config;
+// the tuner measures these to rank configurations.
+func MatMulWithConfig(a, b, out *tensor.Tensor, cfg TileConfig) {
+	m, k, n := a.Shape()[0], a.Shape()[1], b.Shape()[1]
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	rt := cfg.RowTile
+	if rt <= 0 {
+		rt = 1
+	}
+	cb := cfg.ColBlock
+	if cb <= 0 {
+		cb = n
+	}
+	for j0 := 0; j0 < n; j0 += cb {
+		j1 := j0 + cb
+		if j1 > n {
+			j1 = n
+		}
+		for i0 := 0; i0 < m; i0 += rt {
+			rows := rt
+			if i0+rows > m {
+				rows = m - i0
+			}
+			for i := i0; i < i0+rows; i++ {
+				row := av[i*k : i*k+k]
+				for j := j0; j < j1; j++ {
+					var acc float32
+					for p := 0; p < k; p++ {
+						acc += row[p] * bv[p*n+j]
+					}
+					ov[i*n+j] = acc
+				}
+			}
+		}
+	}
+}
+
+// TuneResult reports the outcome of symbolic tuning.
+type TuneResult struct {
+	// Best is the configuration selected by cross-shape evaluation.
+	Best TileConfig
+	// TopK are the configurations that survived the static-shape round,
+	// best first.
+	TopK []TileConfig
+	// StaticShapeUsed is the large static stand-in for the symbolic dim.
+	StaticShapeUsed int
+	// ShapesEvaluated are the cross-evaluation shapes (powers of two).
+	ShapesEvaluated []int
+	// MeasuredConfigs counts total (config, shape) measurements, showing the
+	// tractability win over tuning every possible shape.
+	MeasuredConfigs int
+}
+
+// TunerOptions bounds the tuning process.
+type TunerOptions struct {
+	// K is the number of top configurations carried into cross evaluation;
+	// the paper found k=100 covers most best configs — our grid is smaller,
+	// so the default is 5.
+	K int
+	// StaticDim replaces the symbolic dimension during the first round
+	// ("replace the symbolic dimensions by a large enough value, e.g. 64").
+	StaticDim int
+	// MaxShape bounds the power-of-two cross-evaluation shapes (default 256,
+	// per §4.5).
+	MaxShape int
+	// Repeats per measurement (median taken).
+	Repeats int
+	// Seed for input data.
+	Seed int64
+}
+
+func (o TunerOptions) withDefaults() TunerOptions {
+	if o.K == 0 {
+		o.K = 5
+	}
+	if o.StaticDim == 0 {
+		o.StaticDim = 64
+	}
+	if o.MaxShape == 0 {
+		o.MaxShape = 256
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	return o
+}
+
+// TuneSymbolicDense implements the paper's symbolic tuning strategy (§4.5)
+// for a dense operator [sym, k] x [k, n]:
+//
+//  1. tune on one large static shape,
+//  2. keep the top-k configurations,
+//  3. cross-evaluate them on power-of-two shapes up to MaxShape and pick the
+//     configuration with the best average.
+//
+// The observation it encodes: "a good configuration for one shape usually
+// performs well on other shapes."
+func TuneSymbolicDense(k, n int, space []TileConfig, opts TunerOptions) TuneResult {
+	opts = opts.withDefaults()
+	if len(space) == 0 {
+		space = DefaultSearchSpace()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 11))
+	res := TuneResult{StaticShapeUsed: opts.StaticDim}
+
+	// Round 1: static-shape tuning.
+	type scored struct {
+		cfg TileConfig
+		t   time.Duration
+	}
+	staticScores := make([]scored, 0, len(space))
+	for _, cfg := range space {
+		t := measureConfig(rng, opts.StaticDim, k, n, cfg, opts.Repeats)
+		staticScores = append(staticScores, scored{cfg, t})
+		res.MeasuredConfigs++
+	}
+	sort.Slice(staticScores, func(i, j int) bool { return staticScores[i].t < staticScores[j].t })
+	topK := opts.K
+	if topK > len(staticScores) {
+		topK = len(staticScores)
+	}
+	for i := 0; i < topK; i++ {
+		res.TopK = append(res.TopK, staticScores[i].cfg)
+	}
+
+	// Round 2: cross-shape evaluation on powers of two.
+	for m := 2; m <= opts.MaxShape; m *= 2 {
+		res.ShapesEvaluated = append(res.ShapesEvaluated, m)
+	}
+	best := res.TopK[0]
+	bestAvg := time.Duration(1<<62 - 1)
+	for _, cfg := range res.TopK {
+		var total time.Duration
+		for _, m := range res.ShapesEvaluated {
+			total += measureConfig(rng, m, k, n, cfg, opts.Repeats)
+			res.MeasuredConfigs++
+		}
+		avg := total / time.Duration(len(res.ShapesEvaluated))
+		if avg < bestAvg {
+			bestAvg = avg
+			best = cfg
+		}
+	}
+	res.Best = best
+	return res
+}
+
+func measureConfig(rng *rand.Rand, m, k, n int, cfg TileConfig, repeats int) time.Duration {
+	a := tensor.Random(rng, 1, m, k)
+	b := tensor.Random(rng, 1, k, n)
+	out := tensor.New(tensor.Float32, m, n)
+	times := make([]time.Duration, repeats)
+	for i := range times {
+		start := time.Now()
+		MatMulWithConfig(a, b, out, cfg)
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[repeats/2]
+}
+
+// NaiveTuningCost estimates the measurement count of tuning every shape
+// independently, the intractable baseline the symbolic strategy avoids:
+// |space| measurements for each possible shape.
+func NaiveTuningCost(space, shapes int) int { return space * shapes }
+
+// TileFactorOfBest reports the residue-dispatch tile factor implied by a
+// tuning result; the dispatch table width then derives from it (the paper's
+// tuner "chooses to tile the symbolic dimension ... by a factor of 8").
+func TileFactorOfBest(r TuneResult) int {
+	if r.Best.RowTile > 0 {
+		return r.Best.RowTile
+	}
+	return kernels.TileFactor
+}

@@ -1,0 +1,478 @@
+package compiler
+
+import (
+	"fmt"
+
+	"nimble/internal/codegen"
+	"nimble/internal/ir"
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// funcCompiler emits bytecode for one function body over an infinite virtual
+// register file (§5.1).
+type funcCompiler struct {
+	c    *compiler
+	out  *compiledFunc
+	regs map[*ir.Var]vm.Reg
+	next vm.Reg
+	// unit lazily holds a register with the integer 0, used as the value of
+	// effect-only bindings (memory.kill).
+	unit vm.Reg
+	has  bool
+}
+
+func (fc *funcCompiler) fresh() vm.Reg {
+	r := fc.next
+	fc.next++
+	return r
+}
+
+func (fc *funcCompiler) emit(in vm.Instruction) int {
+	fc.out.code = append(fc.out.code, in)
+	return len(fc.out.code) - 1
+}
+
+func (fc *funcCompiler) pc() int { return len(fc.out.code) }
+
+func (fc *funcCompiler) unitReg() vm.Reg {
+	if !fc.has {
+		fc.unit = fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpLoadConsti, Dst: fc.unit, Imm: 0})
+		fc.has = true
+	}
+	return fc.unit
+}
+
+// compile lowers an expression and returns the register holding its value.
+func (fc *funcCompiler) compile(e ir.Expr) (vm.Reg, error) {
+	switch n := e.(type) {
+	case *ir.Var:
+		r, ok := fc.regs[n]
+		if !ok {
+			return 0, fmt.Errorf("unbound variable %%%s at codegen", n.Name)
+		}
+		return r, nil
+
+	case *ir.Constant:
+		idx := fc.c.internConst(n.Value)
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpLoadConst, Dst: dst, Imm: int64(idx)})
+		return dst, nil
+
+	case *ir.GlobalVar:
+		// A first-class reference to a global becomes a capture-free
+		// closure.
+		idx, ok := fc.c.fnIndex[n.Name]
+		if !ok {
+			return 0, fmt.Errorf("unknown global @%s", n.Name)
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpAllocClosure, Dst: dst, Imm: int64(idx)})
+		return dst, nil
+
+	case *ir.Let:
+		r, err := fc.compileBinding(n.Bound, n.Value)
+		if err != nil {
+			return 0, err
+		}
+		fc.regs[n.Bound] = r
+		return fc.compile(n.Body)
+
+	case *ir.Call:
+		return fc.compileCall(n)
+
+	case *ir.Tuple:
+		args := make([]vm.Reg, len(n.Fields))
+		for i, f := range n.Fields {
+			r, err := fc.compile(f)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = r
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpAllocADT, Dst: dst, Imm: int64(vm.TupleTag), Args: args})
+		return dst, nil
+
+	case *ir.TupleGet:
+		src, err := fc.compile(n.Tuple)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpGetField, Dst: dst, A: src, Imm: int64(n.Index)})
+		return dst, nil
+
+	case *ir.If:
+		return fc.compileIf(n)
+
+	case *ir.Match:
+		return fc.compileMatch(n)
+
+	case *ir.Function:
+		return fc.compileClosure(n)
+
+	default:
+		return 0, fmt.Errorf("cannot compile %s in value position", ir.ExprKind(e))
+	}
+}
+
+// compileBinding lowers a let-bound value, special-casing effect-only
+// dialect operations.
+func (fc *funcCompiler) compileBinding(v *ir.Var, value ir.Expr) (vm.Reg, error) {
+	if call, op := opCall(value); op != nil && op.Name == ir.OpKill {
+		// kill is metadata for the static planner; at runtime, frame-exit
+		// release (plus static coalescing) already reclaims the buffer.
+		_ = call
+		return fc.unitReg(), nil
+	}
+	return fc.compile(value)
+}
+
+func opCall(e ir.Expr) (*ir.Call, *ir.Op) {
+	c, ok := e.(*ir.Call)
+	if !ok {
+		return nil, nil
+	}
+	if ref, ok := c.Callee.(*ir.OpRef); ok {
+		return c, ref.Op
+	}
+	return c, nil
+}
+
+func (fc *funcCompiler) compileCall(n *ir.Call) (vm.Reg, error) {
+	switch callee := n.Callee.(type) {
+	case *ir.OpRef:
+		return fc.compileOpCall(n, callee.Op)
+
+	case *ir.GlobalVar:
+		idx, ok := fc.c.fnIndex[callee.Name]
+		if !ok {
+			return 0, fmt.Errorf("unknown global @%s", callee.Name)
+		}
+		args, err := fc.compileArgs(n.Args)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpInvoke, Dst: dst, Imm: int64(idx), Args: args})
+		return dst, nil
+
+	case *ir.CtorRef:
+		args, err := fc.compileArgs(n.Args)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpAllocADT, Dst: dst, Imm: int64(callee.Ctor.Tag), Args: args})
+		return dst, nil
+
+	default:
+		// Closure call: compile the callee to a closure register.
+		clo, err := fc.compile(n.Callee)
+		if err != nil {
+			return 0, err
+		}
+		args, err := fc.compileArgs(n.Args)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpInvokeClosure, Dst: dst, A: clo, Args: args})
+		return dst, nil
+	}
+}
+
+func (fc *funcCompiler) compileArgs(args []ir.Expr) ([]vm.Reg, error) {
+	out := make([]vm.Reg, len(args))
+	for i, a := range args {
+		r, err := fc.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// internalAttrKeys are attrs attached by passes, stripped before kernel
+// generation so kernel identities depend only on operator semantics.
+var internalAttrKeys = map[string]bool{
+	"num_outputs": true, "device": true, "device_id": true, "mode": true,
+	"src_device": true, "src_id": true, "dst_device": true, "dst_id": true,
+}
+
+func userAttrs(attrs ir.Attrs) ir.Attrs {
+	out := ir.Attrs{}
+	for k, v := range attrs {
+		if !internalAttrKeys[k] {
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (fc *funcCompiler) compileOpCall(n *ir.Call, op *ir.Op) (vm.Reg, error) {
+	switch op.Name {
+	case ir.OpAllocStorage:
+		dst := fc.fresh()
+		in := vm.Instruction{
+			Op: vm.OpAllocStorage, Dst: dst, A: -1,
+			Device:   uint8(n.Attrs.Int("device", int(fc.c.opts.Target.Type))),
+			DeviceID: n.Attrs.Int("device_id", 0),
+		}
+		if len(n.Args) == 1 {
+			// Dynamic size from a shape register.
+			shapeReg, err := fc.compile(n.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			dt, err := tensor.ParseDType(n.Attrs.String("dtype", "float32"))
+			if err != nil {
+				return 0, err
+			}
+			in.A = shapeReg
+			in.DType = uint8(dt)
+		} else {
+			in.Imm = int64(n.Attrs.Int("size", 0))
+		}
+		fc.emit(in)
+		return dst, nil
+
+	case ir.OpAllocTensor:
+		storage, err := fc.compile(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		dt, err := tensor.ParseDType(n.Attrs.String("dtype", "float32"))
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{
+			Op: vm.OpAllocTensor, Dst: dst, A: storage,
+			Imm: int64(n.Attrs.Int("offset", 0)), Shape: n.Attrs.Ints("shape"), DType: uint8(dt),
+		})
+		return dst, nil
+
+	case ir.OpAllocTensorReg:
+		storage, err := fc.compile(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		shape, err := fc.compile(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		dt, err := tensor.ParseDType(n.Attrs.String("dtype", "float32"))
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpAllocTensorReg, Dst: dst, A: storage, B: shape, DType: uint8(dt)})
+		return dst, nil
+
+	case ir.OpInvokeMut:
+		target, ok := n.Args[0].(*ir.OpRef)
+		if !ok {
+			return 0, fmt.Errorf("invoke_mut requires an operator reference, got %s", ir.ExprKind(n.Args[0]))
+		}
+		outType, _ := n.CheckedType().(*ir.TensorType)
+		kern, err := codegen.ForOp(target.Op, userAttrs(n.Attrs), outType, fc.c.opts.Codegen)
+		if err != nil {
+			return 0, err
+		}
+		kIdx := fc.c.internKernel(kern)
+		regs, err := fc.compileArgs(n.Args[1:])
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpInvokePacked, Dst: dst, Imm: int64(kIdx), B: 1, Args: regs})
+		return dst, nil
+
+	case ir.OpInvokeShapeFunc:
+		target, ok := n.Args[0].(*ir.OpRef)
+		if !ok {
+			return 0, fmt.Errorf("shape_func requires an operator reference")
+		}
+		kern, err := codegen.ForShapeFunc(target.Op, userAttrs(n.Attrs))
+		if err != nil {
+			return 0, err
+		}
+		kIdx := fc.c.internKernel(kern)
+		regs, err := fc.compileArgs(n.Args[1:])
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpInvokePacked, Dst: dst, Imm: int64(kIdx), B: 0, Args: regs})
+		return dst, nil
+
+	case ir.OpShapeOf:
+		src, err := fc.compile(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpShapeOf, Dst: dst, A: src})
+		return dst, nil
+
+	case ir.OpDeviceCopy:
+		src, err := fc.compile(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{
+			Op: vm.OpDeviceCopy, Dst: dst, A: src,
+			Device:   uint8(n.Attrs.Int("dst_device", int(ir.DevCPU))),
+			DeviceID: n.Attrs.Int("dst_id", 0),
+			Imm:      int64(n.Attrs.Int("src_device", 0)*1000 + n.Attrs.Int("src_id", 0)),
+		})
+		return dst, nil
+
+	case ir.OpReshapeTensor:
+		src, err := fc.compile(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		shape, err := fc.compile(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpReshapeTensor, Dst: dst, A: src, B: shape})
+		return dst, nil
+
+	case ir.OpKill:
+		return fc.unitReg(), nil
+
+	default:
+		// An unmanifested primitive call (memory planning disabled): the
+		// kernel allocates its own output.
+		if op.Eval == nil {
+			return 0, fmt.Errorf("operator %s is not executable", op.Name)
+		}
+		outType, _ := n.CheckedType().(*ir.TensorType)
+		kern, err := codegen.ForOp(op, userAttrs(n.Attrs), outType, fc.c.opts.Codegen)
+		if err != nil {
+			return 0, err
+		}
+		kIdx := fc.c.internKernel(kern)
+		regs, err := fc.compileArgs(n.Args)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.fresh()
+		fc.emit(vm.Instruction{Op: vm.OpInvokePacked, Dst: dst, Imm: int64(kIdx), B: 0, Args: regs})
+		return dst, nil
+	}
+}
+
+func (fc *funcCompiler) compileIf(n *ir.If) (vm.Reg, error) {
+	cond, err := fc.compile(n.Cond)
+	if err != nil {
+		return 0, err
+	}
+	trueReg := fc.fresh()
+	fc.emit(vm.Instruction{Op: vm.OpLoadConsti, Dst: trueReg, Imm: 1})
+	ifIdx := fc.emit(vm.Instruction{Op: vm.OpIf, A: cond, B: trueReg, Off1: 1})
+	join := fc.fresh()
+
+	thenReg, err := fc.compile(n.Then)
+	if err != nil {
+		return 0, err
+	}
+	fc.emit(vm.Instruction{Op: vm.OpMove, Dst: join, A: thenReg})
+	gotoIdx := fc.emit(vm.Instruction{Op: vm.OpGoto})
+
+	elseStart := fc.pc()
+	fc.out.code[ifIdx].Off2 = elseStart - ifIdx
+	elseReg, err := fc.compile(n.Else)
+	if err != nil {
+		return 0, err
+	}
+	fc.emit(vm.Instruction{Op: vm.OpMove, Dst: join, A: elseReg})
+	fc.out.code[gotoIdx].Off1 = fc.pc() - gotoIdx
+	return join, nil
+}
+
+func (fc *funcCompiler) compileMatch(n *ir.Match) (vm.Reg, error) {
+	data, err := fc.compile(n.Data)
+	if err != nil {
+		return 0, err
+	}
+	tag := fc.fresh()
+	fc.emit(vm.Instruction{Op: vm.OpGetTag, Dst: tag, A: data})
+	join := fc.fresh()
+
+	var exits []int
+	for _, clause := range n.Clauses {
+		var failIdx = -1
+		switch clause.Pattern.Kind {
+		case ir.PatCtor:
+			want := fc.fresh()
+			fc.emit(vm.Instruction{Op: vm.OpLoadConsti, Dst: want, Imm: int64(clause.Pattern.Ctor.Tag)})
+			failIdx = fc.emit(vm.Instruction{Op: vm.OpIf, A: tag, B: want, Off1: 1})
+			for i, sub := range clause.Pattern.Sub {
+				switch sub.Kind {
+				case ir.PatVar:
+					fieldReg := fc.fresh()
+					fc.emit(vm.Instruction{Op: vm.OpGetField, Dst: fieldReg, A: data, Imm: int64(i)})
+					fc.regs[sub.Var] = fieldReg
+				case ir.PatWildcard:
+					// bind nothing
+				default:
+					return 0, fmt.Errorf("nested constructor patterns are not supported by codegen; flatten the match")
+				}
+			}
+		case ir.PatVar:
+			fc.regs[clause.Pattern.Var] = data
+		case ir.PatWildcard:
+			// always matches
+		}
+		body, err := fc.compile(clause.Body)
+		if err != nil {
+			return 0, err
+		}
+		fc.emit(vm.Instruction{Op: vm.OpMove, Dst: join, A: body})
+		exits = append(exits, fc.emit(vm.Instruction{Op: vm.OpGoto}))
+		if failIdx >= 0 {
+			fc.out.code[failIdx].Off2 = fc.pc() - failIdx
+		} else {
+			// Irrefutable pattern: later clauses are unreachable.
+			break
+		}
+	}
+	// Fall-through: no clause matched.
+	fc.emit(vm.Instruction{Op: vm.OpFatal})
+	end := fc.pc()
+	for _, g := range exits {
+		fc.out.code[g].Off1 = end - g
+	}
+	return join, nil
+}
+
+func (fc *funcCompiler) compileClosure(n *ir.Function) (vm.Reg, error) {
+	free := ir.FreeVars(n)
+	idx, err := fc.c.liftFunction(n, free)
+	if err != nil {
+		return 0, err
+	}
+	captured := make([]vm.Reg, len(free))
+	for i, v := range free {
+		r, ok := fc.regs[v]
+		if !ok {
+			return 0, fmt.Errorf("closure captures unbound %%%s", v.Name)
+		}
+		captured[i] = r
+	}
+	dst := fc.fresh()
+	fc.emit(vm.Instruction{Op: vm.OpAllocClosure, Dst: dst, Imm: int64(idx), Args: captured})
+	return dst, nil
+}

@@ -1,0 +1,60 @@
+package data
+
+import "testing"
+
+func TestMRPCSamplerBounds(t *testing.T) {
+	s := NewMRPC(1)
+	lens := s.Lengths(2000)
+	for _, n := range lens {
+		if n < s.MinLen || n > s.MaxLen {
+			t.Fatalf("length %d outside [%d, %d]", n, s.MinLen, s.MaxLen)
+		}
+	}
+	mean := MeanOf(lens)
+	if mean < 20 || mean > 32 {
+		t.Errorf("MRPC mean = %.1f, want ~26", mean)
+	}
+}
+
+func TestSSTSamplerBounds(t *testing.T) {
+	s := NewSST(1)
+	lens := s.Sentences(2000)
+	for _, n := range lens {
+		if n < s.MinLen || n > s.MaxLen {
+			t.Fatalf("words %d outside [%d, %d]", n, s.MinLen, s.MaxLen)
+		}
+	}
+	mean := MeanOf(lens)
+	if mean < 14 || mean > 24 {
+		t.Errorf("SST mean = %.1f, want ~19", mean)
+	}
+	if s.Rng() == nil {
+		t.Error("Rng accessor broken")
+	}
+}
+
+func TestSamplersDeterministic(t *testing.T) {
+	a := NewMRPC(7).Lengths(50)
+	b := NewMRPC(7).Lengths(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different lengths")
+		}
+	}
+	c := NewMRPC(8).Lengths(50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMeanOfEmpty(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Error("MeanOf(nil) != 0")
+	}
+}

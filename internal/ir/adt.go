@@ -1,0 +1,52 @@
+package ir
+
+import "fmt"
+
+// TypeDef declares an algebraic data type with its constructors, e.g.
+//
+//	type Tree { Leaf(Tensor[(1, 300), float32]); Node(Tree, Tree) }
+//
+// ADTs give the IR the "dynamic data structures" axis of model dynamism
+// (§2): a Tree-LSTM's input is a runtime-shaped Tree value.
+type TypeDef struct {
+	Name         string
+	Constructors []*Constructor
+}
+
+// Constructor builds one variant of an ADT. Tag is the runtime discriminant
+// the VM's GetTag instruction reads.
+type Constructor struct {
+	Name   string
+	Tag    int
+	Fields []Type
+	Def    *TypeDef
+}
+
+// NewTypeDef declares an ADT and wires constructor back-references and tags.
+func NewTypeDef(name string, ctors ...*Constructor) *TypeDef {
+	td := &TypeDef{Name: name, Constructors: ctors}
+	for i, c := range ctors {
+		c.Tag = i
+		c.Def = td
+	}
+	return td
+}
+
+// NewConstructor creates an unattached constructor; NewTypeDef assigns its
+// tag and definition.
+func NewConstructor(name string, fields ...Type) *Constructor {
+	return &Constructor{Name: name, Fields: fields}
+}
+
+// CtorByName finds a constructor by name.
+func (td *TypeDef) CtorByName(name string) (*Constructor, error) {
+	for _, c := range td.Constructors {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("ir: type %s has no constructor %s", td.Name, name)
+}
+
+// Type returns the ADTType referencing this definition.
+func (td *TypeDef) Type() *ADTType { return &ADTType{Def: td} }

@@ -1,0 +1,60 @@
+package ir
+
+import (
+	"fmt"
+
+	"nimble/internal/tensor"
+)
+
+// Builder accumulates a let-chain, the idiomatic way model front-ends
+// construct IR: every intermediate gets a named binding, which keeps the
+// printed program readable and puts the program close to A-normal form.
+type Builder struct {
+	bindings []*Let
+	counter  int
+}
+
+// NewBuilder creates an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Fresh returns a fresh variable with a prefix-derived name.
+func (b *Builder) Fresh(prefix string) *Var {
+	b.counter++
+	return NewVar(fmt.Sprintf("%s%d", prefix, b.counter), nil)
+}
+
+// Bind introduces `let v = value` and returns v.
+func (b *Builder) Bind(prefix string, value Expr) *Var {
+	v := b.Fresh(prefix)
+	b.bindings = append(b.bindings, &Let{Bound: v, Value: value})
+	return v
+}
+
+// Op binds a call to a registered operator and returns the bound variable.
+func (b *Builder) Op(name string, args ...Expr) *Var {
+	return b.Bind("t", CallOp(name, args...))
+}
+
+// OpAttrs binds a call with attributes.
+func (b *Builder) OpAttrs(name string, attrs Attrs, args ...Expr) *Var {
+	return b.Bind("t", CallOpAttrs(name, attrs, args...))
+}
+
+// Finish closes the let-chain with the result expression.
+func (b *Builder) Finish(result Expr) Expr {
+	out := result
+	for i := len(b.bindings) - 1; i >= 0; i-- {
+		l := b.bindings[i]
+		out = &Let{Bound: l.Bound, Value: l.Value, Body: out}
+	}
+	return out
+}
+
+// ConstScalar builds a float32 scalar constant node.
+func ConstScalar(v float32) *Constant { return Const(tensor.Scalar(v)) }
+
+// ConstScalarI64 builds an int64 scalar constant node.
+func ConstScalarI64(v int64) *Constant { return Const(tensor.ScalarI64(v)) }
+
+// ConstBool builds a boolean scalar constant node.
+func ConstBool(v bool) *Constant { return Const(tensor.ScalarBool(v)) }

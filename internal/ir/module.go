@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Module is a compilation unit: named functions plus ADT declarations. The
+// function named "main" is the model entry point.
+type Module struct {
+	Funcs    map[string]*Function
+	TypeDefs map[string]*TypeDef
+}
+
+// NewModule creates an empty module.
+func NewModule() *Module {
+	return &Module{Funcs: map[string]*Function{}, TypeDefs: map[string]*TypeDef{}}
+}
+
+// AddFunc registers fn under name, replacing any previous definition.
+func (m *Module) AddFunc(name string, fn *Function) {
+	m.Funcs[name] = fn
+}
+
+// Func fetches a function by name.
+func (m *Module) Func(name string) (*Function, error) {
+	fn, ok := m.Funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("ir: module has no function %q", name)
+	}
+	return fn, nil
+}
+
+// Main fetches the entry function.
+func (m *Module) Main() (*Function, error) { return m.Func("main") }
+
+// AddTypeDef registers an ADT declaration.
+func (m *Module) AddTypeDef(td *TypeDef) {
+	m.TypeDefs[td.Name] = td
+}
+
+// FuncNames returns function names in sorted order for deterministic
+// compilation and printing.
+func (m *Module) FuncNames() []string {
+	names := make([]string, 0, len(m.Funcs))
+	for n := range m.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TypeDefNames returns ADT names in sorted order.
+func (m *Module) TypeDefNames() []string {
+	names := make([]string, 0, len(m.TypeDefs))
+	for n := range m.TypeDefs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

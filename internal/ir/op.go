@@ -1,0 +1,221 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nimble/internal/tensor"
+)
+
+// Attrs carries operator attributes (axis, stride, device, ...). Values are
+// restricted to int, float64, bool, string, []int, and Device so attrs can
+// be serialized into bytecode deterministically.
+type Attrs map[string]interface{}
+
+// Int fetches an int attribute with a default.
+func (a Attrs) Int(key string, def int) int {
+	if a == nil {
+		return def
+	}
+	if v, ok := a[key]; ok {
+		return v.(int)
+	}
+	return def
+}
+
+// Float fetches a float64 attribute with a default.
+func (a Attrs) Float(key string, def float64) float64 {
+	if a == nil {
+		return def
+	}
+	if v, ok := a[key]; ok {
+		return v.(float64)
+	}
+	return def
+}
+
+// Bool fetches a bool attribute with a default.
+func (a Attrs) Bool(key string, def bool) bool {
+	if a == nil {
+		return def
+	}
+	if v, ok := a[key]; ok {
+		return v.(bool)
+	}
+	return def
+}
+
+// String fetches a string attribute with a default.
+func (a Attrs) String(key, def string) string {
+	if a == nil {
+		return def
+	}
+	if v, ok := a[key]; ok {
+		return v.(string)
+	}
+	return def
+}
+
+// Ints fetches an []int attribute; nil when missing.
+func (a Attrs) Ints(key string) []int {
+	if a == nil {
+		return nil
+	}
+	if v, ok := a[key]; ok {
+		return v.([]int)
+	}
+	return nil
+}
+
+// Keys returns attribute keys in sorted order for deterministic printing
+// and serialization.
+func (a Attrs) Keys() []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OpPattern classifies operators for the fusion pass, following the
+// TVM-style taxonomy the paper builds on.
+type OpPattern int
+
+const (
+	// PatternElemWise ops map each input element to one output element.
+	PatternElemWise OpPattern = iota
+	// PatternBroadcast ops are element-wise after broadcasting.
+	PatternBroadcast
+	// PatternInjective ops are one-to-one data movements (reshape, take).
+	PatternInjective
+	// PatternOutFusable ops (matmul, conv) accept fused element-wise
+	// epilogues but cannot be fused into other ops.
+	PatternOutFusable
+	// PatternOpaque ops never fuse (control ops, allocation dialect,
+	// data-dependent shapes — the §4.2 fusion policy).
+	PatternOpaque
+)
+
+func (p OpPattern) String() string {
+	switch p {
+	case PatternElemWise:
+		return "elemwise"
+	case PatternBroadcast:
+		return "broadcast"
+	case PatternInjective:
+		return "injective"
+	case PatternOutFusable:
+		return "out-fusable"
+	case PatternOpaque:
+		return "opaque"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// ShapeFuncMode is the paper's three-way shape-function classification
+// (§4.2).
+type ShapeFuncMode int
+
+const (
+	// ShapeDataIndependent: output shape depends only on input shapes.
+	ShapeDataIndependent ShapeFuncMode = iota
+	// ShapeDataDependent: output shape depends on input values (arange,
+	// unique).
+	ShapeDataDependent
+	// ShapeUpperBound: the shape function yields an upper bound; the kernel
+	// returns the precise shape with its output (nms).
+	ShapeUpperBound
+)
+
+func (m ShapeFuncMode) String() string {
+	switch m {
+	case ShapeDataIndependent:
+		return "data-independent"
+	case ShapeDataDependent:
+		return "data-dependent"
+	case ShapeUpperBound:
+		return "upper-bound"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ShapeFunc computes concrete output shapes at runtime. For
+// data-independent functions only inShapes is consulted; data-dependent and
+// upper-bound functions may read inVals. The compiler embeds these
+// computations into the program as first-class instructions, so they run on
+// the CPU domain per the §4.4 placement rules.
+type ShapeFunc struct {
+	Mode ShapeFuncMode
+	Fn   func(inShapes []tensor.Shape, inVals []*tensor.Tensor, attrs Attrs) ([]tensor.Shape, error)
+}
+
+// EvalFunc executes an operator's kernel over concrete tensors. It is the
+// semantic ground truth; codegen wraps and specializes these.
+type EvalFunc func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error)
+
+// TypeRel is an operator type relation (§4.1): it computes the output type
+// from input types, propagating Any per the operator's rules, or reports a
+// compile-time type error. Relations must relax (not reject) constraints
+// that cannot be decided while a participating dimension is Any; those
+// deferred checks happen at runtime in the shape function / kernel.
+type TypeRel func(args []Type, attrs Attrs) (Type, error)
+
+// Op is a registered primitive operator.
+type Op struct {
+	Name    string
+	Rel     TypeRel
+	Shape   ShapeFunc
+	Eval    EvalFunc
+	Pattern OpPattern
+	// NumInputs < 0 means variadic.
+	NumInputs int
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Op{}
+)
+
+// RegisterOp adds an operator to the global registry; duplicate names panic
+// (registration happens in package init, so a duplicate is a programming
+// error).
+func RegisterOp(op *Op) *Op {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[op.Name]; dup {
+		panic(fmt.Sprintf("ir: duplicate operator %q", op.Name))
+	}
+	registry[op.Name] = op
+	return op
+}
+
+// GetOp looks up an operator by name.
+func GetOp(name string) (*Op, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	op, ok := registry[name]
+	return op, ok
+}
+
+// MustGetOp looks up an operator, panicking when absent.
+func MustGetOp(name string) *Op {
+	op, ok := GetOp(name)
+	if !ok {
+		panic(fmt.Sprintf("ir: unknown operator %q", name))
+	}
+	return op
+}
+
+// OpNames returns all registered operator names, sorted.
+func OpNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

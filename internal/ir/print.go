@@ -1,0 +1,207 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an expression in a Relay-like concrete syntax, used by pass
+// debugging, golden tests, and the disassembler's source view. Variable
+// names are uniqued with a per-printer counter so distinct Vars with equal
+// names stay distinguishable.
+func Print(e Expr) string {
+	p := &printer{names: map[*Var]string{}, used: map[string]int{}}
+	var b strings.Builder
+	p.expr(&b, e, 0)
+	return b.String()
+}
+
+// PrintModule renders all functions and type definitions of a module.
+func PrintModule(m *Module) string {
+	var b strings.Builder
+	for _, name := range m.TypeDefNames() {
+		td := m.TypeDefs[name]
+		b.WriteString("type " + td.Name + " {")
+		for i, c := range td.Constructors {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(" " + c.Name)
+			if len(c.Fields) > 0 {
+				parts := make([]string, len(c.Fields))
+				for j, f := range c.Fields {
+					parts[j] = f.String()
+				}
+				b.WriteString("(" + strings.Join(parts, ", ") + ")")
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	for _, name := range m.FuncNames() {
+		p := &printer{names: map[*Var]string{}, used: map[string]int{}}
+		b.WriteString("def @" + name)
+		p.fnSig(&b, m.Funcs[name], 0)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+type printer struct {
+	names map[*Var]string
+	used  map[string]int
+}
+
+func (p *printer) varName(v *Var) string {
+	if n, ok := p.names[v]; ok {
+		return n
+	}
+	base := v.Name
+	if base == "" {
+		base = "v"
+	}
+	n := base
+	if c := p.used[base]; c > 0 {
+		n = fmt.Sprintf("%s.%d", base, c)
+	}
+	p.used[base]++
+	p.names[v] = n
+	return n
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (p *printer) fnSig(b *strings.Builder, fn *Function, depth int) {
+	b.WriteString("(")
+	for i, param := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("%" + p.varName(param))
+		if param.TypeAnn != nil {
+			b.WriteString(": " + param.TypeAnn.String())
+		}
+	}
+	b.WriteString(")")
+	if fn.RetAnn != nil {
+		b.WriteString(" -> " + fn.RetAnn.String())
+	}
+	b.WriteString(" {\n")
+	indent(b, depth+1)
+	p.expr(b, fn.Body, depth+1)
+	b.WriteString("\n")
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func (p *printer) expr(b *strings.Builder, e Expr, depth int) {
+	switch n := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Var:
+		b.WriteString("%" + p.varName(n))
+	case *GlobalVar:
+		b.WriteString("@" + n.Name)
+	case *Constant:
+		if n.Value.NumElements() == 1 {
+			b.WriteString(fmt.Sprintf("const(%g, %s)", n.Value.At(make([]int, n.Value.Rank())...), n.Value.DType()))
+		} else {
+			b.WriteString("const(" + n.Value.String() + ")")
+		}
+	case *OpRef:
+		b.WriteString(n.Op.Name)
+	case *CtorRef:
+		b.WriteString(n.Ctor.Name)
+	case *Call:
+		p.expr(b, n.Callee, depth)
+		b.WriteString("(")
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			p.expr(b, a, depth)
+		}
+		b.WriteString(")")
+		if len(n.Attrs) > 0 {
+			parts := make([]string, 0, len(n.Attrs))
+			for _, k := range n.Attrs.Keys() {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, n.Attrs[k]))
+			}
+			b.WriteString("{" + strings.Join(parts, ", ") + "}")
+		}
+	case *Function:
+		b.WriteString("fn")
+		p.fnSig(b, n, depth)
+	case *Let:
+		b.WriteString("let %" + p.varName(n.Bound) + " = ")
+		p.expr(b, n.Value, depth)
+		b.WriteString(";\n")
+		indent(b, depth)
+		p.expr(b, n.Body, depth)
+	case *If:
+		b.WriteString("if (")
+		p.expr(b, n.Cond, depth)
+		b.WriteString(") {\n")
+		indent(b, depth+1)
+		p.expr(b, n.Then, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("} else {\n")
+		indent(b, depth+1)
+		p.expr(b, n.Else, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("}")
+	case *Tuple:
+		b.WriteString("(")
+		for i, fld := range n.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			p.expr(b, fld, depth)
+		}
+		b.WriteString(")")
+	case *TupleGet:
+		p.expr(b, n.Tuple, depth)
+		b.WriteString(fmt.Sprintf(".%d", n.Index))
+	case *Match:
+		b.WriteString("match (")
+		p.expr(b, n.Data, depth)
+		b.WriteString(") {\n")
+		for _, c := range n.Clauses {
+			indent(b, depth+1)
+			p.pattern(b, c.Pattern)
+			b.WriteString(" => ")
+			p.expr(b, c.Body, depth+1)
+			b.WriteString("\n")
+		}
+		indent(b, depth)
+		b.WriteString("}")
+	default:
+		b.WriteString(fmt.Sprintf("<%T>", e))
+	}
+}
+
+func (p *printer) pattern(b *strings.Builder, pat *Pattern) {
+	switch pat.Kind {
+	case PatWildcard:
+		b.WriteString("_")
+	case PatVar:
+		b.WriteString("%" + p.varName(pat.Var))
+	case PatCtor:
+		b.WriteString(pat.Ctor.Name)
+		if len(pat.Sub) > 0 {
+			b.WriteString("(")
+			for i, s := range pat.Sub {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				p.pattern(b, s)
+			}
+			b.WriteString(")")
+		}
+	}
+}

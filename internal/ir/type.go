@@ -1,0 +1,273 @@
+// Package ir implements the Relay-style functional intermediate
+// representation that Nimble's compiler manipulates: tensor-typed
+// expressions with let-binding, control flow, tuples, closures, and
+// algebraic data types, plus the paper's dynamic extensions — tensor types
+// with statically unknown (Any) dimensions (§4.1), runtime shape functions
+// (§4.2), and the explicit-allocation dialect used by memory planning
+// (§4.3) and device placement (§4.4).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"nimble/internal/tensor"
+)
+
+// DimAny is the sentinel value of a Dim whose extent is unknown at compile
+// time — the paper's special Any dimension.
+const DimAny = -1
+
+// Dim is one dimension of a tensor type: either a concrete non-negative
+// extent or Any. An Any dimension may carry a symbolic identity (Sym > 0);
+// two Any dims with equal Sym are known to be identically sized even though
+// the size itself is unknown. This identity is what the paper's "extra
+// analysis on each Any dimension to detect if two Any dimensions point to an
+// identically sized dimension" (§4.1) computes, and the codegen layer uses
+// it to share residue-dispatch tables between kernels.
+type Dim struct {
+	// Value is the concrete extent, or DimAny.
+	Value int
+	// Sym is the symbolic identity class of an Any dim (0 = anonymous).
+	Sym int
+}
+
+// StaticDim returns a concrete dimension.
+func StaticDim(n int) Dim {
+	if n < 0 {
+		panic(fmt.Sprintf("ir: negative static dimension %d", n))
+	}
+	return Dim{Value: n}
+}
+
+// AnyDim returns an anonymous Any dimension.
+func AnyDim() Dim { return Dim{Value: DimAny} }
+
+// SymDim returns an Any dimension tagged with symbolic identity sym.
+func SymDim(sym int) Dim { return Dim{Value: DimAny, Sym: sym} }
+
+// IsAny reports whether the dimension is unknown at compile time.
+func (d Dim) IsAny() bool { return d.Value == DimAny }
+
+// Static returns the concrete extent, panicking on Any. Callers must check
+// IsAny first; the panic indicates a compiler bug (using a dynamic dim where
+// the pass pipeline guarantees a static one).
+func (d Dim) Static() int {
+	if d.IsAny() {
+		panic("ir: Static() on Any dimension")
+	}
+	return d.Value
+}
+
+func (d Dim) String() string {
+	if d.IsAny() {
+		if d.Sym > 0 {
+			return fmt.Sprintf("Any#%d", d.Sym)
+		}
+		return "Any"
+	}
+	return fmt.Sprintf("%d", d.Value)
+}
+
+// Equal reports structural equality. Anonymous Any dims compare equal to each
+// other; symbolic Any dims compare by identity class.
+func (d Dim) Equal(o Dim) bool { return d.Value == o.Value && d.Sym == o.Sym }
+
+// Type is the interface implemented by all IR types.
+type Type interface {
+	isType()
+	String() string
+	// EqualType is structural type equality.
+	EqualType(Type) bool
+}
+
+// TensorType is an n-dimensional tensor with (possibly dynamic) shape and a
+// data type, e.g. Tensor[(1, 10, Any), float32].
+type TensorType struct {
+	Dims  []Dim
+	DType tensor.DType
+}
+
+// TT builds a TensorType from int dims, where DimAny (-1) denotes Any.
+func TT(dt tensor.DType, dims ...int) *TensorType {
+	ds := make([]Dim, len(dims))
+	for i, d := range dims {
+		if d == DimAny {
+			ds[i] = AnyDim()
+		} else {
+			ds[i] = StaticDim(d)
+		}
+	}
+	return &TensorType{Dims: ds, DType: dt}
+}
+
+// ScalarType returns a rank-0 tensor type of the given dtype.
+func ScalarType(dt tensor.DType) *TensorType { return &TensorType{DType: dt} }
+
+// BoolType is the type of branch predicates.
+func BoolType() *TensorType { return ScalarType(tensor.Bool) }
+
+func (*TensorType) isType() {}
+
+func (t *TensorType) String() string {
+	parts := make([]string, len(t.Dims))
+	for i, d := range t.Dims {
+		parts[i] = d.String()
+	}
+	return fmt.Sprintf("Tensor[(%s), %s]", strings.Join(parts, ", "), t.DType)
+}
+
+// Rank returns the number of dimensions.
+func (t *TensorType) Rank() int { return len(t.Dims) }
+
+// IsStatic reports whether every dimension is concrete.
+func (t *TensorType) IsStatic() bool {
+	for _, d := range t.Dims {
+		if d.IsAny() {
+			return false
+		}
+	}
+	return true
+}
+
+// StaticShape converts a fully static type to a concrete tensor.Shape.
+func (t *TensorType) StaticShape() (tensor.Shape, bool) {
+	out := make(tensor.Shape, len(t.Dims))
+	for i, d := range t.Dims {
+		if d.IsAny() {
+			return nil, false
+		}
+		out[i] = d.Value
+	}
+	return out, true
+}
+
+// NumElementsUpperBound returns the element count if static; for dynamic
+// types it returns (0, false). Memory planning uses it to decide between
+// static pre-allocation and runtime shape-function-driven allocation.
+func (t *TensorType) NumElementsUpperBound() (int, bool) {
+	s, ok := t.StaticShape()
+	if !ok {
+		return 0, false
+	}
+	return s.NumElements(), true
+}
+
+func (t *TensorType) EqualType(o Type) bool {
+	ot, ok := o.(*TensorType)
+	if !ok || ot.DType != t.DType || len(ot.Dims) != len(t.Dims) {
+		return false
+	}
+	for i := range t.Dims {
+		if !t.Dims[i].Equal(ot.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AssignableTo implements the paper's sub-shaping (§4.1): a value of type t
+// may flow into a context expecting type o when t is at least as specific —
+// every dimension of o is either Any or equal to t's dimension. This lets
+// precisely shaped values pass where less specific shapes are required,
+// limiting the contamination of Any.
+func (t *TensorType) AssignableTo(o Type) bool {
+	ot, ok := o.(*TensorType)
+	if !ok || ot.DType != t.DType || len(ot.Dims) != len(t.Dims) {
+		return false
+	}
+	for i := range t.Dims {
+		if ot.Dims[i].IsAny() {
+			continue // less specific context accepts anything
+		}
+		if t.Dims[i].IsAny() || t.Dims[i].Value != ot.Dims[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleType is the type of a fixed-arity tuple.
+type TupleType struct {
+	Fields []Type
+}
+
+func (*TupleType) isType() {}
+
+func (t *TupleType) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (t *TupleType) EqualType(o Type) bool {
+	ot, ok := o.(*TupleType)
+	if !ok || len(ot.Fields) != len(t.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if !t.Fields[i].EqualType(ot.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncType is the type of a function or closure.
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+func (*FuncType) isType() {}
+
+func (t *FuncType) String() string {
+	parts := make([]string, len(t.Params))
+	for i, p := range t.Params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("fn(%s) -> %s", strings.Join(parts, ", "), t.Ret)
+}
+
+func (t *FuncType) EqualType(o Type) bool {
+	ot, ok := o.(*FuncType)
+	if !ok || len(ot.Params) != len(t.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].EqualType(ot.Params[i]) {
+			return false
+		}
+	}
+	return t.Ret.EqualType(ot.Ret)
+}
+
+// ADTType references an algebraic data type declared in the module, e.g. the
+// Tree type Tree-LSTM recurses over.
+type ADTType struct {
+	Def *TypeDef
+}
+
+func (*ADTType) isType() {}
+
+func (t *ADTType) String() string { return t.Def.Name }
+
+func (t *ADTType) EqualType(o Type) bool {
+	ot, ok := o.(*ADTType)
+	return ok && ot.Def == t.Def
+}
+
+// StorageType is the type of a raw storage region produced by
+// alloc_storage in the explicit-allocation dialect (§4.3).
+type StorageType struct{}
+
+func (*StorageType) isType() {}
+
+func (t *StorageType) String() string { return "Storage" }
+
+func (t *StorageType) EqualType(o Type) bool {
+	_, ok := o.(*StorageType)
+	return ok
+}

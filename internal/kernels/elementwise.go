@@ -1,0 +1,249 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"nimble/internal/tensor"
+)
+
+// binaryOp applies f element-wise with NumPy broadcasting over float32
+// tensors, allocating the result.
+func binaryOp(name string, a, b *tensor.Tensor, f func(x, y float32) float32) *tensor.Tensor {
+	if a.DType() != tensor.Float32 || b.DType() != tensor.Float32 {
+		panic(fmt.Sprintf("kernels: %s requires float32 inputs, got %v and %v", name, a.DType(), b.DType()))
+	}
+	outShape, err := tensor.BroadcastShapes(a.Shape(), b.Shape())
+	if err != nil {
+		// This is the runtime type check deferred by the gradual typing of
+		// Any dimensions (§4.1): incompatible concrete shapes surface here.
+		panic(fmt.Sprintf("kernels: %s: %v", name, err))
+	}
+	out := tensor.New(tensor.Float32, outShape...)
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+
+	// Fast path: identical shapes, a dominant case in model graphs.
+	if a.Shape().Equal(b.Shape()) {
+		for i := range ov {
+			ov[i] = f(av[i], bv[i])
+		}
+		return out
+	}
+	// Fast path: b is a scalar.
+	if b.NumElements() == 1 {
+		s := bv[0]
+		for i := range ov {
+			ov[i] = f(av[i], s)
+		}
+		return out
+	}
+	// Fast path: a is a scalar.
+	if a.NumElements() == 1 {
+		s := av[0]
+		for i := range ov {
+			ov[i] = f(s, bv[i])
+		}
+		return out
+	}
+	// General broadcasting via stride-0 virtual strides.
+	sa := broadcastStrides(a.Shape(), outShape)
+	sb := broadcastStrides(b.Shape(), outShape)
+	idx := make([]int, outShape.Rank())
+	n := outShape.NumElements()
+	for lin := 0; lin < n; lin++ {
+		oa, ob := 0, 0
+		for d := range idx {
+			oa += idx[d] * sa[d]
+			ob += idx[d] * sb[d]
+		}
+		ov[lin] = f(av[oa], bv[ob])
+		for d := outShape.Rank() - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < outShape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// broadcastStrides returns strides for shape `s` viewed as the broadcast
+// shape `out`: broadcast (size-1 or missing) axes get stride 0.
+func broadcastStrides(s, out tensor.Shape) []int {
+	st := s.Strides()
+	res := make([]int, out.Rank())
+	offset := out.Rank() - s.Rank()
+	for d := 0; d < out.Rank(); d++ {
+		if d < offset {
+			res[d] = 0
+			continue
+		}
+		if s[d-offset] == 1 && out[d] != 1 {
+			res[d] = 0
+		} else {
+			res[d] = st[d-offset]
+		}
+	}
+	return res
+}
+
+// Add computes a+b with broadcasting.
+func Add(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("add", a, b, func(x, y float32) float32 { return x + y })
+}
+
+// Sub computes a-b with broadcasting.
+func Sub(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("sub", a, b, func(x, y float32) float32 { return x - y })
+}
+
+// Mul computes a*b (element-wise) with broadcasting.
+func Mul(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("mul", a, b, func(x, y float32) float32 { return x * y })
+}
+
+// Div computes a/b with broadcasting.
+func Div(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("div", a, b, func(x, y float32) float32 { return x / y })
+}
+
+// Maximum computes element-wise max(a, b) with broadcasting.
+func Maximum(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("maximum", a, b, func(x, y float32) float32 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// Minimum computes element-wise min(a, b) with broadcasting.
+func Minimum(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("minimum", a, b, func(x, y float32) float32 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// Power computes a^b element-wise with broadcasting.
+func Power(a, b *tensor.Tensor) *tensor.Tensor {
+	return binaryOp("power", a, b, func(x, y float32) float32 {
+		return float32(math.Pow(float64(x), float64(y)))
+	})
+}
+
+// unaryOp applies f element-wise to a float32 tensor.
+func unaryOp(name string, a *tensor.Tensor, f func(x float32) float32) *tensor.Tensor {
+	if a.DType() != tensor.Float32 {
+		panic(fmt.Sprintf("kernels: %s requires float32 input, got %v", name, a.DType()))
+	}
+	out := tensor.New(tensor.Float32, a.Shape()...)
+	av, ov := a.F32(), out.F32()
+	for i := range av {
+		ov[i] = f(av[i])
+	}
+	return out
+}
+
+// Neg computes -a.
+func Neg(a *tensor.Tensor) *tensor.Tensor {
+	return unaryOp("neg", a, func(x float32) float32 { return -x })
+}
+
+// Exp computes e^a element-wise.
+func Exp(a *tensor.Tensor) *tensor.Tensor {
+	return unaryOp("exp", a, func(x float32) float32 { return float32(math.Exp(float64(x))) })
+}
+
+// Sqrt computes the element-wise square root.
+func Sqrt(a *tensor.Tensor) *tensor.Tensor {
+	return unaryOp("sqrt", a, func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
+}
+
+// Sigmoid computes 1/(1+e^-x) element-wise.
+func Sigmoid(a *tensor.Tensor) *tensor.Tensor {
+	return unaryOp("sigmoid", a, sigmoidScalar)
+}
+
+func sigmoidScalar(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Tanh computes tanh(x) element-wise.
+func Tanh(a *tensor.Tensor) *tensor.Tensor {
+	return unaryOp("tanh", a, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// Relu computes max(0, x) element-wise.
+func Relu(a *tensor.Tensor) *tensor.Tensor {
+	return unaryOp("relu", a, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Gelu computes the Gaussian error linear unit using the tanh approximation
+// BERT uses: 0.5x(1+tanh(sqrt(2/pi)(x+0.044715x^3))).
+func Gelu(a *tensor.Tensor) *tensor.Tensor {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return unaryOp("gelu", a, func(x float32) float32 {
+		x64 := float64(x)
+		return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+	})
+}
+
+// Greater returns a bool tensor of a > b with broadcasting.
+func Greater(a, b *tensor.Tensor) *tensor.Tensor {
+	return compareOp("greater", a, b, func(x, y float32) bool { return x > y })
+}
+
+// Less returns a bool tensor of a < b with broadcasting.
+func Less(a, b *tensor.Tensor) *tensor.Tensor {
+	return compareOp("less", a, b, func(x, y float32) bool { return x < y })
+}
+
+// EqualOp returns a bool tensor of a == b with broadcasting.
+func EqualOp(a, b *tensor.Tensor) *tensor.Tensor {
+	return compareOp("equal", a, b, func(x, y float32) bool { return x == y })
+}
+
+func compareOp(name string, a, b *tensor.Tensor, f func(x, y float32) bool) *tensor.Tensor {
+	floats := binaryOp(name, a, b, func(x, y float32) float32 {
+		if f(x, y) {
+			return 1
+		}
+		return 0
+	})
+	out := tensor.New(tensor.Bool, floats.Shape()...)
+	fv, bv := floats.F32(), out.Bools()
+	for i := range fv {
+		bv[i] = fv[i] != 0
+	}
+	return out
+}
+
+// Cast converts a tensor to the target dtype element-wise.
+func Cast(a *tensor.Tensor, dt tensor.DType) *tensor.Tensor {
+	out := tensor.New(dt, a.Shape()...)
+	vals := a.AsF64()
+	for i, v := range vals {
+		out.SetAt(v, unravel(i, a.Shape())...)
+	}
+	return out
+}
+
+func unravel(lin int, s tensor.Shape) []int {
+	idx := make([]int, s.Rank())
+	for d := s.Rank() - 1; d >= 0; d-- {
+		if s[d] > 0 {
+			idx[d] = lin % s[d]
+			lin /= s[d]
+		}
+	}
+	return idx
+}

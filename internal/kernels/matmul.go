@@ -1,0 +1,380 @@
+// Package kernels implements the operator kernel library for the Nimble
+// reproduction: pure-Go compute routines over internal/tensor values.
+//
+// The package plays the role of both TVM's generated kernels and the
+// third-party vendor libraries the paper's baselines rely on. The codegen
+// layer (internal/codegen) "generates" kernels by selecting and specializing
+// the routines here per shape class, tiling configuration, and residue —
+// mirroring the paper's §4.5 symbolic code generation where the loop
+// structure, not the arithmetic, is what differs between variants.
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nimble/internal/tensor"
+)
+
+// MatMulRef is the reference row-by-row matrix multiplication used by tests
+// as ground truth: out[m,n] = sum_k a[m,k] * b[k,n].
+func MatMulRef(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k, n := checkMatMul(a, b)
+	out := tensor.New(tensor.Float32, m, n)
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += av[i*k+p] * bv[p*n+j]
+			}
+			ov[i*n+j] = acc
+		}
+	}
+	return out
+}
+
+func checkMatMul(a, b *tensor.Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("kernels: matmul requires rank-2 inputs, got %v x %v", a.Shape(), b.Shape()))
+	}
+	if a.Shape()[1] != b.Shape()[0] {
+		panic(fmt.Sprintf("kernels: matmul inner dims mismatch: %v x %v", a.Shape(), b.Shape()))
+	}
+	return a.Shape()[0], a.Shape()[1], b.Shape()[1]
+}
+
+// TileFactor is the row-tiling factor the symbolic auto-tuner selects for
+// dense operators. The paper reports the tuner chose 8 for the BERT dense
+// layers (§6.3), so the codegen experiments fix the same value.
+const TileFactor = 8
+
+// microBlock computes `rows` output rows (1..8) starting at row i0, using a
+// register-blocked inner loop specialized by an unrolled switch. It is the
+// code a shape-specialized kernel contains when the residue is known at
+// generation time: no bounds check survives into the accumulation loops.
+func microBlock(av, bv, ov []float32, i0, rows, k, n int) {
+	switch rows {
+	case 8:
+		micro8(av, bv, ov, i0, k, n)
+	case 7:
+		microN7(av, bv, ov, i0, k, n)
+	case 6:
+		microN6(av, bv, ov, i0, k, n)
+	case 5:
+		microN5(av, bv, ov, i0, k, n)
+	case 4:
+		microN4(av, bv, ov, i0, k, n)
+	case 3:
+		microN3(av, bv, ov, i0, k, n)
+	case 2:
+		microN2(av, bv, ov, i0, k, n)
+	case 1:
+		microN1(av, bv, ov, i0, k, n)
+	case 0:
+	default:
+		panic(fmt.Sprintf("kernels: microBlock rows=%d out of range", rows))
+	}
+}
+
+// micro8 is the fully unrolled 8-row micro-kernel: eight accumulators per
+// output column give the scheduler instruction-level parallelism and each
+// element of b is loaded once per 8 rows. This is the payoff the symbolic
+// dispatch mechanism (§4.5) fights to keep.
+func micro8(av, bv, ov []float32, i0, k, n int) {
+	r0 := av[(i0+0)*k : (i0+0)*k+k]
+	r1 := av[(i0+1)*k : (i0+1)*k+k]
+	r2 := av[(i0+2)*k : (i0+2)*k+k]
+	r3 := av[(i0+3)*k : (i0+3)*k+k]
+	r4 := av[(i0+4)*k : (i0+4)*k+k]
+	r5 := av[(i0+5)*k : (i0+5)*k+k]
+	r6 := av[(i0+6)*k : (i0+6)*k+k]
+	r7 := av[(i0+7)*k : (i0+7)*k+k]
+	for j := 0; j < n; j++ {
+		var a0, a1, a2, a3, a4, a5, a6, a7 float32
+		for p := 0; p < k; p++ {
+			bpj := bv[p*n+j]
+			a0 += r0[p] * bpj
+			a1 += r1[p] * bpj
+			a2 += r2[p] * bpj
+			a3 += r3[p] * bpj
+			a4 += r4[p] * bpj
+			a5 += r5[p] * bpj
+			a6 += r6[p] * bpj
+			a7 += r7[p] * bpj
+		}
+		ov[(i0+0)*n+j] = a0
+		ov[(i0+1)*n+j] = a1
+		ov[(i0+2)*n+j] = a2
+		ov[(i0+3)*n+j] = a3
+		ov[(i0+4)*n+j] = a4
+		ov[(i0+5)*n+j] = a5
+		ov[(i0+6)*n+j] = a6
+		ov[(i0+7)*n+j] = a7
+	}
+}
+
+// The microN* family are the residue-specialized epilogues a full-dispatch
+// symbolic kernel embeds: one per possible remainder, each with the row
+// count baked in so the accumulation loop carries no bound check.
+
+func microN1(av, bv, ov []float32, i0, k, n int) {
+	r0 := av[i0*k : i0*k+k]
+	for j := 0; j < n; j++ {
+		var a0 float32
+		for p := 0; p < k; p++ {
+			a0 += r0[p] * bv[p*n+j]
+		}
+		ov[i0*n+j] = a0
+	}
+}
+
+func microN2(av, bv, ov []float32, i0, k, n int) {
+	r0 := av[(i0+0)*k : (i0+0)*k+k]
+	r1 := av[(i0+1)*k : (i0+1)*k+k]
+	for j := 0; j < n; j++ {
+		var a0, a1 float32
+		for p := 0; p < k; p++ {
+			bpj := bv[p*n+j]
+			a0 += r0[p] * bpj
+			a1 += r1[p] * bpj
+		}
+		ov[(i0+0)*n+j] = a0
+		ov[(i0+1)*n+j] = a1
+	}
+}
+
+func microN3(av, bv, ov []float32, i0, k, n int) {
+	r0 := av[(i0+0)*k : (i0+0)*k+k]
+	r1 := av[(i0+1)*k : (i0+1)*k+k]
+	r2 := av[(i0+2)*k : (i0+2)*k+k]
+	for j := 0; j < n; j++ {
+		var a0, a1, a2 float32
+		for p := 0; p < k; p++ {
+			bpj := bv[p*n+j]
+			a0 += r0[p] * bpj
+			a1 += r1[p] * bpj
+			a2 += r2[p] * bpj
+		}
+		ov[(i0+0)*n+j] = a0
+		ov[(i0+1)*n+j] = a1
+		ov[(i0+2)*n+j] = a2
+	}
+}
+
+func microN4(av, bv, ov []float32, i0, k, n int) {
+	r0 := av[(i0+0)*k : (i0+0)*k+k]
+	r1 := av[(i0+1)*k : (i0+1)*k+k]
+	r2 := av[(i0+2)*k : (i0+2)*k+k]
+	r3 := av[(i0+3)*k : (i0+3)*k+k]
+	for j := 0; j < n; j++ {
+		var a0, a1, a2, a3 float32
+		for p := 0; p < k; p++ {
+			bpj := bv[p*n+j]
+			a0 += r0[p] * bpj
+			a1 += r1[p] * bpj
+			a2 += r2[p] * bpj
+			a3 += r3[p] * bpj
+		}
+		ov[(i0+0)*n+j] = a0
+		ov[(i0+1)*n+j] = a1
+		ov[(i0+2)*n+j] = a2
+		ov[(i0+3)*n+j] = a3
+	}
+}
+
+func microN5(av, bv, ov []float32, i0, k, n int) {
+	microN4(av, bv, ov, i0, k, n)
+	microN1(av, bv, ov, i0+4, k, n)
+}
+
+func microN6(av, bv, ov []float32, i0, k, n int) {
+	microN4(av, bv, ov, i0, k, n)
+	microN2(av, bv, ov, i0+4, k, n)
+}
+
+func microN7(av, bv, ov []float32, i0, k, n int) {
+	microN4(av, bv, ov, i0, k, n)
+	microN3(av, bv, ov, i0+4, k, n)
+}
+
+// microGuarded is the loop structure naive symbolic codegen produces when
+// residue information is unavailable: every row is processed individually
+// and the row-validity guard sits inside the block, exactly the "boundary
+// condition checks stay" failure mode of §4.5. The arithmetic is identical;
+// only the loop structure (and therefore the achieved ILP) differs.
+func microGuarded(av, bv, ov []float32, i0, m, k, n int) {
+	for r := 0; r < TileFactor; r++ {
+		i := i0 + r
+		if i >= m { // unsimplified boundary check
+			continue
+		}
+		row := av[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += row[p] * bv[p*n+j]
+			}
+			ov[i*n+j] = acc
+		}
+	}
+}
+
+// MatMulStatic is the kernel "generated for a static shape": the row count is
+// known at generation time, so the main loop runs an exact number of
+// unguarded micro8 blocks and the epilogue is residue-specialized.
+func MatMulStatic(a, b, out *tensor.Tensor) {
+	m, k, n := checkMatMul(a, b)
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	q := m / TileFactor
+	for i := 0; i < q; i++ {
+		micro8(av, bv, ov, i*TileFactor, k, n)
+	}
+	microBlock(av, bv, ov, q*TileFactor, m%TileFactor, k, n)
+}
+
+// MatMulSymbolicFull is the residue-r symbolic kernel from a full dispatch
+// set (k = TileFactor kernels): the caller guarantees m % TileFactor == r,
+// so the epilogue is specialized and no guard survives. Performance is
+// within noise of MatMulStatic — the property Figure 3's "dispatch/8" bar
+// demonstrates.
+func MatMulSymbolicFull(r int) func(a, b, out *tensor.Tensor) {
+	if r < 0 || r >= TileFactor {
+		panic(fmt.Sprintf("kernels: residue %d out of range", r))
+	}
+	return func(a, b, out *tensor.Tensor) {
+		m, k, n := checkMatMul(a, b)
+		if m%TileFactor != r {
+			panic(fmt.Sprintf("kernels: residue kernel %d invoked with m=%d", r, m))
+		}
+		av, bv, ov := a.F32(), b.F32(), out.F32()
+		q := m / TileFactor
+		for i := 0; i < q; i++ {
+			micro8(av, bv, ov, i*TileFactor, k, n)
+		}
+		microBlock(av, bv, ov, q*TileFactor, r, k, n)
+	}
+}
+
+// MatMulSymbolicPartial is a symbolic kernel from a partial dispatch set: it
+// covers the residue class [rLo, rHi]. Full blocks are provably in range and
+// keep the unguarded micro-kernel, but the epilogue's row count is only known
+// up to the class width, so it retains per-row guards (microGuarded). The
+// wider the class, the more guarded work — the mechanism behind the rising
+// bars of Figure 3.
+func MatMulSymbolicPartial(rLo, rHi int) func(a, b, out *tensor.Tensor) {
+	if rLo < 0 || rHi < rLo || rHi >= TileFactor {
+		panic(fmt.Sprintf("kernels: invalid residue class [%d, %d]", rLo, rHi))
+	}
+	return func(a, b, out *tensor.Tensor) {
+		m, k, n := checkMatMul(a, b)
+		if r := m % TileFactor; r < rLo || r > rHi {
+			panic(fmt.Sprintf("kernels: residue-class kernel [%d,%d] invoked with m=%d", rLo, rHi, m))
+		}
+		av, bv, ov := a.F32(), b.F32(), out.F32()
+		q := m / TileFactor
+		for i := 0; i < q; i++ {
+			micro8(av, bv, ov, i*TileFactor, k, n)
+		}
+		if q*TileFactor < m {
+			microGuarded(av, bv, ov, q*TileFactor, m, k, n)
+		}
+	}
+}
+
+// MatMulSymbolicNaive is the single symbolic kernel of the "no dispatch"
+// configuration: with no residue information the simplifier cannot discharge
+// the row guard anywhere, so every block — not just the tail — runs the
+// guarded loop structure. This reproduces the paper's observation that
+// unhandled boundary conditions make symbolic kernels perform badly (§2.2,
+// §4.5).
+func MatMulSymbolicNaive(a, b, out *tensor.Tensor) {
+	m, k, n := checkMatMul(a, b)
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	blocks := (m + TileFactor - 1) / TileFactor
+	for i := 0; i < blocks; i++ {
+		microGuarded(av, bv, ov, i*TileFactor, m, k, n)
+	}
+}
+
+// MatMul computes a@b with the static-shape kernel, allocating the output.
+// It is the default kernel used outside the codegen experiments.
+func MatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, _, n := checkMatMul(a, b)
+	out := tensor.New(tensor.Float32, m, n)
+	MatMulStatic(a, b, out)
+	return out
+}
+
+// MatMulParallel computes a@b splitting row blocks across workers
+// goroutines; workers <= 0 selects GOMAXPROCS. It stands in for the
+// "third-party library" (MKL/cuDNN) kernel provider that Nimble's dispatch
+// function may select when profiling shows it is faster (§4.5).
+func MatMulParallel(a, b *tensor.Tensor, workers int) *tensor.Tensor {
+	m, k, n := checkMatMul(a, b)
+	out := tensor.New(tensor.Float32, m, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blocks := (m + TileFactor - 1) / TileFactor
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		MatMulStatic(a, b, out)
+		return out
+	}
+	av, bv, ov := a.F32(), b.F32(), out.F32()
+	var wg sync.WaitGroup
+	per := (blocks + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > blocks {
+			hi = blocks
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				i0 := i * TileFactor
+				rows := TileFactor
+				if i0+rows > m {
+					rows = m - i0
+				}
+				microBlock(av, bv, ov, i0, rows, k, n)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Dense computes x@w + bias where x is [m,k], w is [k,n] and bias is [n]
+// (bias may be nil). This is the fused dense+bias kernel every model in the
+// evaluation leans on.
+func Dense(x, w, bias *tensor.Tensor) *tensor.Tensor {
+	out := MatMul(x, w)
+	if bias != nil {
+		addBiasInPlace(out, bias)
+	}
+	return out
+}
+
+func addBiasInPlace(out, bias *tensor.Tensor) {
+	m, n := out.Shape()[0], out.Shape()[1]
+	if bias.Rank() != 1 || bias.Shape()[0] != n {
+		panic(fmt.Sprintf("kernels: bias shape %v does not match output %v", bias.Shape(), out.Shape()))
+	}
+	ov, bv := out.F32(), bias.F32()
+	for i := 0; i < m; i++ {
+		row := ov[i*n : i*n+n]
+		for j := range row {
+			row[j] += bv[j]
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nimble/internal/tensor"
+)
+
+func randMat(rng *rand.Rand, m, n int) *tensor.Tensor {
+	return tensor.Random(rng, 1, m, n)
+}
+
+func TestMatMulStaticMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Cover every residue class of the tile factor plus tiny and empty cases.
+	for _, m := range []int{0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 23, 64, 65} {
+		a := randMat(rng, m, 13)
+		b := randMat(rng, 13, 11)
+		want := MatMulRef(a, b)
+		got := MatMul(a, b)
+		if !got.AllClose(want, 1e-4, 1e-5) {
+			t.Errorf("m=%d: tiled matmul disagrees with reference", m)
+		}
+	}
+}
+
+func TestMatMulSymbolicVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k, n := 19, 17
+	for m := 0; m <= 2*TileFactor+3; m++ {
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		want := MatMulRef(a, b)
+
+		r := m % TileFactor
+		outFull := tensor.New(tensor.Float32, m, n)
+		MatMulSymbolicFull(r)(a, b, outFull)
+		if !outFull.AllClose(want, 1e-4, 1e-5) {
+			t.Errorf("m=%d: full-dispatch kernel wrong", m)
+		}
+
+		// Partial dispatch: class of width 2 and width 4 containing r.
+		for _, width := range []int{2, 4} {
+			lo := (r / width) * width
+			hi := lo + width - 1
+			if hi >= TileFactor {
+				hi = TileFactor - 1
+			}
+			outPart := tensor.New(tensor.Float32, m, n)
+			MatMulSymbolicPartial(lo, hi)(a, b, outPart)
+			if !outPart.AllClose(want, 1e-4, 1e-5) {
+				t.Errorf("m=%d width=%d: partial-dispatch kernel wrong", m, width)
+			}
+		}
+
+		outNaive := tensor.New(tensor.Float32, m, n)
+		MatMulSymbolicNaive(a, b, outNaive)
+		if !outNaive.AllClose(want, 1e-4, 1e-5) {
+			t.Errorf("m=%d: naive symbolic kernel wrong", m)
+		}
+	}
+}
+
+func TestMatMulSymbolicFullRejectsWrongResidue(t *testing.T) {
+	a := tensor.New(tensor.Float32, 9, 4)
+	b := tensor.New(tensor.Float32, 4, 4)
+	out := tensor.New(tensor.Float32, 9, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("residue mismatch not detected")
+		}
+	}()
+	MatMulSymbolicFull(3)(a, b, out) // 9 % 8 == 1, not 3
+}
+
+func TestMatMulSymbolicPartialRejectsOutOfClass(t *testing.T) {
+	a := tensor.New(tensor.Float32, 9, 4) // residue 1
+	b := tensor.New(tensor.Float32, 4, 4)
+	out := tensor.New(tensor.Float32, 9, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("class mismatch not detected")
+		}
+	}()
+	MatMulSymbolicPartial(4, 7)(a, b, out)
+}
+
+func TestMatMulParallelMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range []int{1, 7, 8, 33, 100} {
+		for _, workers := range []int{0, 1, 2, 4, 32} {
+			a := randMat(rng, m, 24)
+			b := randMat(rng, 24, 18)
+			want := MatMulRef(a, b)
+			got := MatMulParallel(a, b, workers)
+			if !got.AllClose(want, 1e-4, 1e-5) {
+				t.Errorf("m=%d workers=%d: parallel matmul wrong", m, workers)
+			}
+		}
+	}
+}
+
+func TestMatMulShapeChecks(t *testing.T) {
+	a := tensor.New(tensor.Float32, 2, 3)
+	bad := tensor.New(tensor.Float32, 4, 2)
+	assertPanics(t, "inner mismatch", func() { MatMul(a, bad) })
+	assertPanics(t, "rank", func() { MatMul(tensor.New(tensor.Float32, 2), a) })
+	assertPanics(t, "bad residue", func() { MatMulSymbolicFull(8) })
+	assertPanics(t, "bad class", func() { MatMulSymbolicPartial(5, 3) })
+}
+
+func TestDense(t *testing.T) {
+	x := tensor.FromF32([]float32{1, 2, 3, 4}, 2, 2)
+	w := tensor.FromF32([]float32{1, 0, 0, 1}, 2, 2)
+	b := tensor.FromF32([]float32{10, 20}, 2)
+	got := Dense(x, w, b)
+	want := tensor.FromF32([]float32{11, 22, 13, 24}, 2, 2)
+	if !got.Equal(want) {
+		t.Errorf("Dense = %v, want %v", got.F32(), want.F32())
+	}
+	// nil bias
+	got = Dense(x, w, nil)
+	if !got.Equal(tensor.FromF32([]float32{1, 2, 3, 4}, 2, 2)) {
+		t.Errorf("Dense nil bias = %v", got.F32())
+	}
+	assertPanics(t, "bias shape", func() { Dense(x, w, tensor.New(tensor.Float32, 3)) })
+}
+
+// Property: all four kernel classes agree on random shapes.
+func TestMatMulVariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(mSeed, kSeed, nSeed uint8) bool {
+		m := int(mSeed%40) + 1
+		k := int(kSeed%12) + 1
+		n := int(nSeed%12) + 1
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		want := MatMulRef(a, b)
+		if !MatMul(a, b).AllClose(want, 1e-4, 1e-5) {
+			return false
+		}
+		outNaive := tensor.New(tensor.Float32, m, n)
+		MatMulSymbolicNaive(a, b, outNaive)
+		if !outNaive.AllClose(want, 1e-4, 1e-5) {
+			return false
+		}
+		return MatMulParallel(a, b, 3).AllClose(want, 1e-4, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func BenchmarkMicroKernelStatic(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 61, 256)
+	w := randMat(rng, 256, 256)
+	out := tensor.New(tensor.Float32, 61, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulStatic(a, w, out)
+	}
+}
+
+func BenchmarkMicroKernelNaiveSymbolic(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 61, 256)
+	w := randMat(rng, 256, 256)
+	out := tensor.New(tensor.Float32, 61, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulSymbolicNaive(a, w, out)
+	}
+}

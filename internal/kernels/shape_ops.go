@@ -1,0 +1,258 @@
+package kernels
+
+import (
+	"fmt"
+
+	"nimble/internal/tensor"
+)
+
+// Concat concatenates tensors along `axis`. All inputs must share dtype and
+// every dimension except `axis`. This is the canonical dynamic-output-shape
+// operator of the paper's memory-planning example (§4.3): the output row
+// count is the sum of input row counts, known only at runtime when any input
+// has an Any dimension.
+func Concat(ts []*tensor.Tensor, axis int) *tensor.Tensor {
+	if len(ts) == 0 {
+		panic("kernels: concat of zero tensors")
+	}
+	first := ts[0]
+	axis = normalizeAxis(axis, first.Rank())
+	outShape := first.Shape().Clone()
+	for _, t := range ts[1:] {
+		if t.DType() != first.DType() || t.Rank() != first.Rank() {
+			panic(fmt.Sprintf("kernels: concat dtype/rank mismatch: %v vs %v", first, t))
+		}
+		for d := 0; d < t.Rank(); d++ {
+			if d == axis {
+				continue
+			}
+			if t.Shape()[d] != first.Shape()[d] {
+				panic(fmt.Sprintf("kernels: concat shape mismatch at axis %d: %v vs %v", d, first.Shape(), t.Shape()))
+			}
+		}
+		outShape[axis] += t.Shape()[axis]
+	}
+	out := tensor.New(first.DType(), outShape...)
+	// Copy in (outer, axis*inner) panels.
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	inner := 1
+	for d := axis + 1; d < len(outShape); d++ {
+		inner *= outShape[d]
+	}
+	outPanel := outShape[axis] * inner
+	offset := 0
+	for _, t := range ts {
+		panel := t.Shape()[axis] * inner
+		for o := 0; o < outer; o++ {
+			copyRegion(out, o*outPanel+offset, t, o*panel, panel)
+		}
+		offset += panel
+	}
+	return out
+}
+
+// copyRegion copies n elements from src[srcOff:] to dst[dstOff:] respecting
+// dtype. dst and src must share a dtype.
+func copyRegion(dst *tensor.Tensor, dstOff int, src *tensor.Tensor, srcOff, n int) {
+	switch dst.DType() {
+	case tensor.Float32:
+		copy(dst.F32()[dstOff:dstOff+n], src.F32()[srcOff:srcOff+n])
+	case tensor.Float64:
+		copy(dst.F64()[dstOff:dstOff+n], src.F64()[srcOff:srcOff+n])
+	case tensor.Int32:
+		copy(dst.I32()[dstOff:dstOff+n], src.I32()[srcOff:srcOff+n])
+	case tensor.Int64:
+		copy(dst.I64()[dstOff:dstOff+n], src.I64()[srcOff:srcOff+n])
+	case tensor.Bool:
+		copy(dst.Bools()[dstOff:dstOff+n], src.Bools()[srcOff:srcOff+n])
+	}
+}
+
+// Split divides t into `parts` equal chunks along axis.
+func Split(t *tensor.Tensor, parts, axis int) []*tensor.Tensor {
+	axis = normalizeAxis(axis, t.Rank())
+	if parts <= 0 || t.Shape()[axis]%parts != 0 {
+		panic(fmt.Sprintf("kernels: cannot split axis of size %d into %d parts", t.Shape()[axis], parts))
+	}
+	size := t.Shape()[axis] / parts
+	out := make([]*tensor.Tensor, parts)
+	for p := 0; p < parts; p++ {
+		out[p] = Slice(t, axis, p*size, (p+1)*size)
+	}
+	return out
+}
+
+// Slice extracts t[..., lo:hi, ...] along axis (copying).
+func Slice(t *tensor.Tensor, axis, lo, hi int) *tensor.Tensor {
+	axis = normalizeAxis(axis, t.Rank())
+	if lo < 0 || hi > t.Shape()[axis] || lo > hi {
+		panic(fmt.Sprintf("kernels: slice [%d:%d] out of range for axis %d of %v", lo, hi, axis, t.Shape()))
+	}
+	outShape := t.Shape().Clone()
+	outShape[axis] = hi - lo
+	out := tensor.New(t.DType(), outShape...)
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= t.Shape()[d]
+	}
+	inner := 1
+	for d := axis + 1; d < t.Rank(); d++ {
+		inner *= t.Shape()[d]
+	}
+	srcPanel := t.Shape()[axis] * inner
+	dstPanel := (hi - lo) * inner
+	for o := 0; o < outer; o++ {
+		copyRegion(out, o*dstPanel, t, o*srcPanel+lo*inner, dstPanel)
+	}
+	return out
+}
+
+// Take gathers rows of `table` (shape [v, d]) by integer `indices` (any
+// shape), producing shape indices.Shape() + [d]. This is the embedding-lookup
+// kernel.
+func Take(table, indices *tensor.Tensor) *tensor.Tensor {
+	if table.Rank() != 2 {
+		panic(fmt.Sprintf("kernels: take requires rank-2 table, got %v", table.Shape()))
+	}
+	v, d := table.Shape()[0], table.Shape()[1]
+	var idx []int64
+	switch indices.DType() {
+	case tensor.Int64:
+		idx = indices.I64()
+	case tensor.Int32:
+		idx = make([]int64, indices.NumElements())
+		for i, x := range indices.I32() {
+			idx[i] = int64(x)
+		}
+	default:
+		panic(fmt.Sprintf("kernels: take requires integer indices, got %v", indices.DType()))
+	}
+	outShape := append(indices.Shape().Clone(), d)
+	out := tensor.New(table.DType(), outShape...)
+	for i, ix := range idx {
+		if ix < 0 || ix >= int64(v) {
+			panic(fmt.Sprintf("kernels: take index %d out of range [0, %d)", ix, v))
+		}
+		copyRegion(out, i*d, table, int(ix)*d, d)
+	}
+	return out
+}
+
+// Transpose permutes the axes of t by perm; a nil perm reverses all axes.
+func Transpose(t *tensor.Tensor, perm []int) *tensor.Tensor {
+	r := t.Rank()
+	if perm == nil {
+		perm = make([]int, r)
+		for i := range perm {
+			perm[i] = r - 1 - i
+		}
+	}
+	if len(perm) != r {
+		panic(fmt.Sprintf("kernels: transpose perm %v does not match rank %d", perm, r))
+	}
+	seen := make([]bool, r)
+	outShape := make(tensor.Shape, r)
+	for i, p := range perm {
+		if p < 0 || p >= r || seen[p] {
+			panic(fmt.Sprintf("kernels: invalid transpose perm %v", perm))
+		}
+		seen[p] = true
+		outShape[i] = t.Shape()[p]
+	}
+	out := tensor.New(t.DType(), outShape...)
+	inStrides := t.Shape().Strides()
+	n := t.NumElements()
+	if n == 0 {
+		return out
+	}
+	// Special-case the dominant 2-D transpose.
+	if r == 2 && perm[0] == 1 && t.DType() == tensor.Float32 {
+		rows, cols := t.Shape()[0], t.Shape()[1]
+		tv, ov := t.F32(), out.F32()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				ov[j*rows+i] = tv[i*cols+j]
+			}
+		}
+		return out
+	}
+	idx := make([]int, r)
+	for lin := 0; lin < n; lin++ {
+		src := 0
+		for d := 0; d < r; d++ {
+			src += idx[d] * inStrides[perm[d]]
+		}
+		copyRegion(out, lin, t, src, 1)
+		for d := r - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < outShape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// Stack joins tensors of identical shape along a new leading axis.
+func Stack(ts []*tensor.Tensor) *tensor.Tensor {
+	if len(ts) == 0 {
+		panic("kernels: stack of zero tensors")
+	}
+	base := ts[0].Shape()
+	for _, t := range ts[1:] {
+		if !t.Shape().Equal(base) || t.DType() != ts[0].DType() {
+			panic(fmt.Sprintf("kernels: stack mismatch: %v vs %v", ts[0], t))
+		}
+	}
+	outShape := append(tensor.Shape{len(ts)}, base...)
+	out := tensor.New(ts[0].DType(), outShape...)
+	per := base.NumElements()
+	for i, t := range ts {
+		copyRegion(out, i*per, t, 0, per)
+	}
+	return out
+}
+
+// Pad pads the last axis of a rank-2 float32 tensor to `width` with `value`,
+// the transformation frameworks use to reduce a dynamic model to a static one
+// (§2.1). Used by the static-padding baseline.
+func Pad(t *tensor.Tensor, width int, value float32) *tensor.Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("kernels: pad requires rank-2 input, got %v", t.Shape()))
+	}
+	rows, cols := t.Shape()[0], t.Shape()[1]
+	if width < cols {
+		panic(fmt.Sprintf("kernels: pad width %d smaller than input %d", width, cols))
+	}
+	out := tensor.New(tensor.Float32, rows, width)
+	ov, tv := out.F32(), t.F32()
+	for i := 0; i < rows; i++ {
+		copy(ov[i*width:i*width+cols], tv[i*cols:i*cols+cols])
+		for j := cols; j < width; j++ {
+			ov[i*width+j] = value
+		}
+	}
+	return out
+}
+
+// PadRows pads the leading axis of a rank-2 float32 tensor to `rows` rows
+// filled with `value`. Used to pad variable sequence lengths.
+func PadRows(t *tensor.Tensor, rows int, value float32) *tensor.Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("kernels: padRows requires rank-2 input, got %v", t.Shape()))
+	}
+	r, c := t.Shape()[0], t.Shape()[1]
+	if rows < r {
+		panic(fmt.Sprintf("kernels: padRows target %d smaller than input %d", rows, r))
+	}
+	out := tensor.New(tensor.Float32, rows, c)
+	copy(out.F32(), t.F32())
+	for i := r * c; i < rows*c; i++ {
+		out.F32()[i] = value
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package models
+
+import (
+	"fmt"
+
+	"nimble/internal/ir"
+	"nimble/internal/nn"
+	"nimble/internal/tensor"
+)
+
+// The computer-vision graphs back the §6.3 memory-footprint comparison
+// ("popular computer vision models such as ResNet, MobileNet, VGG and
+// SqueezeNet"). They are structurally faithful reductions — the same
+// conv/pool/dense skeletons with the canonical channel progressions — built
+// at a configurable spatial size so the footprint study can run at 224 and
+// the correctness tests at 32.
+
+// CVModel bundles a built CV graph.
+type CVModel struct {
+	Name   string
+	Module *ir.Module
+	// InputShape is the NCHW input the graph expects.
+	InputShape tensor.Shape
+}
+
+// conv emits conv2d+relu with fresh weights.
+func conv(b *ir.Builder, init *nn.Init, x ir.Expr, cIn, cOut, k, stride, pad int, relu bool) ir.Expr {
+	wt := tensor.Random(init.Rng, 0.1, cOut, cIn, k, k)
+	y := b.OpAttrs("conv2d", ir.Attrs{"stride": stride, "pad": pad}, x, ir.Const(wt))
+	if relu {
+		return b.Op("relu", y)
+	}
+	return y
+}
+
+func classifier(b *ir.Builder, init *nn.Init, x ir.Expr, cIn, classes int) ir.Expr {
+	pooled := b.Op("global_avg_pool2d", x) // [1, cIn]
+	fc := nn.NewLinear(init, cIn, classes)
+	return fc.Apply(b, pooled)
+}
+
+// NewResNet builds a ResNet-style graph: a stem followed by four stages of
+// residual blocks with channel doubling and stride-2 downsampling.
+func NewResNet(spatial int) *CVModel {
+	init := nn.NewInit(50)
+	b := ir.NewBuilder()
+	in := ir.NewVar("img", ir.TT(tensor.Float32, 1, 3, spatial, spatial))
+	x := conv(b, init, in, 3, 64, 7, 2, 3, true)
+	x = b.OpAttrs("max_pool2d", ir.Attrs{"k": 2, "stride": 2}, x)
+	channels := []int{64, 128, 256, 512}
+	cPrev := 64
+	for _, c := range channels {
+		stride := 1
+		if c != 64 {
+			stride = 2
+		}
+		// Two residual blocks per stage.
+		for blk := 0; blk < 2; blk++ {
+			s := 1
+			cin := c
+			if blk == 0 {
+				s = stride
+				cin = cPrev
+			}
+			y := conv(b, init, x, cin, c, 3, s, 1, true)
+			y = conv(b, init, y, c, c, 3, 1, 1, false)
+			var short ir.Expr = x
+			if blk == 0 && (s != 1 || cin != c) {
+				short = conv(b, init, x, cin, c, 1, s, 0, false)
+			}
+			x = b.Op("relu", b.Op("add", y, short))
+		}
+		cPrev = c
+	}
+	out := classifier(b, init, x, 512, 1000)
+	mod := ir.NewModule()
+	mod.AddFunc("main", ir.NewFunc([]*ir.Var{in}, b.Finish(out), nil))
+	return &CVModel{Name: "resnet", Module: mod, InputShape: tensor.Shape{1, 3, spatial, spatial}}
+}
+
+// NewMobileNet builds a MobileNet-style stack of strided convolutions with
+// the canonical 32→64→128→256→512→1024 channel progression. (Depthwise
+// separability affects FLOPs, not allocation structure, so the blocks use
+// ordinary convs with the same activation shapes.)
+func NewMobileNet(spatial int) *CVModel {
+	init := nn.NewInit(51)
+	b := ir.NewBuilder()
+	in := ir.NewVar("img", ir.TT(tensor.Float32, 1, 3, spatial, spatial))
+	x := conv(b, init, in, 3, 32, 3, 2, 1, true)
+	plan := []struct{ c, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {1024, 2},
+	}
+	cPrev := 32
+	for _, p := range plan {
+		x = conv(b, init, x, cPrev, p.c, 3, p.stride, 1, true)
+		cPrev = p.c
+	}
+	out := classifier(b, init, x, 1024, 1000)
+	mod := ir.NewModule()
+	mod.AddFunc("main", ir.NewFunc([]*ir.Var{in}, b.Finish(out), nil))
+	return &CVModel{Name: "mobilenet", Module: mod, InputShape: tensor.Shape{1, 3, spatial, spatial}}
+}
+
+// NewVGG builds a VGG-11-style graph: conv blocks with max-pooling between
+// stages.
+func NewVGG(spatial int) *CVModel {
+	init := nn.NewInit(52)
+	b := ir.NewBuilder()
+	in := ir.NewVar("img", ir.TT(tensor.Float32, 1, 3, spatial, spatial))
+	x := ir.Expr(in)
+	cPrev := 3
+	for _, stage := range [][]int{{64}, {128}, {256, 256}, {512, 512}, {512, 512}} {
+		for _, c := range stage {
+			x = conv(b, init, x, cPrev, c, 3, 1, 1, true)
+			cPrev = c
+		}
+		x = b.OpAttrs("max_pool2d", ir.Attrs{"k": 2, "stride": 2}, x)
+	}
+	out := classifier(b, init, x, 512, 1000)
+	mod := ir.NewModule()
+	mod.AddFunc("main", ir.NewFunc([]*ir.Var{in}, b.Finish(out), nil))
+	return &CVModel{Name: "vgg", Module: mod, InputShape: tensor.Shape{1, 3, spatial, spatial}}
+}
+
+// NewSqueezeNet builds a SqueezeNet-style graph of fire modules (squeeze
+// 1x1 conv followed by parallel 1x1/3x3 expands concatenated on channels).
+func NewSqueezeNet(spatial int) *CVModel {
+	init := nn.NewInit(53)
+	b := ir.NewBuilder()
+	in := ir.NewVar("img", ir.TT(tensor.Float32, 1, 3, spatial, spatial))
+	x := conv(b, init, in, 3, 64, 3, 2, 1, true)
+	x = b.OpAttrs("max_pool2d", ir.Attrs{"k": 2, "stride": 2}, x)
+	fire := func(x ir.Expr, cIn, squeeze, expand int) ir.Expr {
+		s := conv(b, init, x, cIn, squeeze, 1, 1, 0, true)
+		e1 := conv(b, init, s, squeeze, expand, 1, 1, 0, true)
+		e3 := conv(b, init, s, squeeze, expand, 3, 1, 1, true)
+		return b.OpAttrs("concat", ir.Attrs{"axis": 1}, e1, e3)
+	}
+	x = fire(x, 64, 16, 64)  // -> 128
+	x = fire(x, 128, 16, 64) // -> 128
+	x = b.OpAttrs("max_pool2d", ir.Attrs{"k": 2, "stride": 2}, x)
+	x = fire(x, 128, 32, 128) // -> 256
+	x = fire(x, 256, 32, 128) // -> 256
+	x = b.OpAttrs("max_pool2d", ir.Attrs{"k": 2, "stride": 2}, x)
+	x = fire(x, 256, 48, 192) // -> 384
+	x = fire(x, 384, 64, 256) // -> 512
+	out := classifier(b, init, x, 512, 1000)
+	mod := ir.NewModule()
+	mod.AddFunc("main", ir.NewFunc([]*ir.Var{in}, b.Finish(out), nil))
+	return &CVModel{Name: "squeezenet", Module: mod, InputShape: tensor.Shape{1, 3, spatial, spatial}}
+}
+
+// CVModels builds all four study graphs at the given spatial size.
+func CVModels(spatial int) []*CVModel {
+	return []*CVModel{
+		NewResNet(spatial), NewMobileNet(spatial), NewVGG(spatial), NewSqueezeNet(spatial),
+	}
+}
+
+// String describes the model for reports.
+func (m *CVModel) String() string {
+	return fmt.Sprintf("%s%v", m.Name, m.InputShape)
+}

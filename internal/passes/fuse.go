@@ -1,0 +1,272 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"nimble/internal/ir"
+	"nimble/internal/tensor"
+)
+
+// FusionStats reports what the fusion pass did, for tests and the fusion
+// ablation bench.
+type FusionStats struct {
+	// Groups is the number of fused composite operators created.
+	Groups int
+	// OpsFused is the total number of primitive ops absorbed into groups.
+	OpsFused int
+}
+
+// FuseOps combines chains of primitive operators into composite kernels:
+// an out-fusable producer (dense, conv2d) followed by element-wise /
+// broadcast / injective consumers, or pure element-wise chains. The §4.2
+// fusion policy is enforced structurally: only operators whose shape
+// functions are data independent may join a group, because a data-dependent
+// or upper-bound shape function would need access to the intermediate
+// tensors hidden inside the composite.
+func FuseOps() Pass {
+	return FuseOpsWithStats(nil)
+}
+
+// FuseOpsWithStats is FuseOps recording statistics into stats when non-nil.
+func FuseOpsWithStats(stats *FusionStats) Pass {
+	return Pass{
+		Name:       "fuse-ops",
+		NeedsTypes: true,
+		Run: func(mod *ir.Module) error {
+			// Group ids make fused operator names unique across the module:
+			// two groups with the same member ops but different attrs or
+			// weights must compile to distinct kernels.
+			var groupID int
+			return mapFuncs(mod, func(_ string, fn *ir.Function) (ir.Expr, error) {
+				return fuseExpr(fn.Body, stats, &groupID), nil
+			})
+		},
+	}
+}
+
+// fuseExpr fuses the top-level let-chain of e and recurses into branch
+// bodies and nested functions.
+func fuseExpr(e ir.Expr, stats *FusionStats, id *int) ir.Expr {
+	// Recurse into non-chain sub-structure first.
+	e = ir.Rewrite(e, func(x ir.Expr) ir.Expr {
+		switch n := x.(type) {
+		case *ir.If:
+			return &ir.If{Cond: n.Cond, Then: fuseChainOnly(n.Then, stats, id), Else: fuseChainOnly(n.Else, stats, id)}
+		case *ir.Match:
+			clauses := make([]*ir.Clause, len(n.Clauses))
+			for i, c := range n.Clauses {
+				clauses[i] = &ir.Clause{Pattern: c.Pattern, Body: fuseChainOnly(c.Body, stats, id)}
+			}
+			return &ir.Match{Data: n.Data, Clauses: clauses}
+		case *ir.Function:
+			return ir.NewFunc(n.Params, fuseChainOnly(n.Body, stats, id), n.RetAnn)
+		}
+		return x
+	})
+	return fuseChainOnly(e, stats, id)
+}
+
+// fuseChainOnly fuses one let-chain (no recursion; branches were already
+// handled by fuseExpr's rewrite).
+func fuseChainOnly(e ir.Expr, stats *FusionStats, id *int) ir.Expr {
+	bs, result := splitChain(e)
+	if len(bs) < 2 {
+		return e
+	}
+	uses := map[*ir.Var]int{}
+	countUses(e, uses)
+
+	var out []binding
+	i := 0
+	for i < len(bs) {
+		group := collectGroup(bs, i, uses)
+		if len(group) >= 2 {
+			*id++
+			fused := buildFusedBinding(bs[i:i+len(group)], group, *id)
+			out = append(out, fused)
+			if stats != nil {
+				stats.Groups++
+				stats.OpsFused += len(group)
+			}
+			i += len(group)
+			continue
+		}
+		out = append(out, bs[i])
+		i++
+	}
+	return buildChain(out, result)
+}
+
+// fusable reports whether an op may participate in fusion at all.
+func fusable(op *ir.Op) bool {
+	if op == nil || op.Eval == nil {
+		return false
+	}
+	switch op.Pattern {
+	case ir.PatternElemWise, ir.PatternBroadcast, ir.PatternInjective, ir.PatternOutFusable:
+		// The §4.2 policy: only data-independent shape functions may fuse.
+		return op.Shape.Fn != nil && op.Shape.Mode == ir.ShapeDataIndependent
+	}
+	return false
+}
+
+// collectGroup returns the member ops of the maximal group starting at bs[i]
+// (nil entries never occur; a group of length 1 means "no fusion here").
+// A binding joins when it consumes the previous member's result, that result
+// has no other consumer, and the op is fusable. Only the first member may be
+// out-fusable.
+func collectGroup(bs []binding, i int, uses map[*ir.Var]int) []*ir.Op {
+	_, op := opCall(bs[i].value)
+	if !fusable(op) {
+		return nil
+	}
+	group := []*ir.Op{op}
+	for j := i + 1; j < len(bs); j++ {
+		prev := bs[j-1]
+		// The intermediate result must be consumed only once.
+		if uses[prev.v] != 1 {
+			break
+		}
+		call, next := opCall(bs[j].value)
+		if !fusable(next) || next.Pattern == ir.PatternOutFusable {
+			break
+		}
+		// Must consume the previous member's output.
+		consumes := false
+		for _, a := range call.Args {
+			if v, ok := a.(*ir.Var); ok && v == prev.v {
+				consumes = true
+				break
+			}
+		}
+		if !consumes {
+			break
+		}
+		group = append(group, next)
+	}
+	if len(group) < 2 {
+		return nil
+	}
+	return group
+}
+
+// argRef locates a fused member's argument: either the idx-th external
+// parameter or the result of the idx-th earlier member.
+type argRef struct {
+	internal bool
+	idx      int
+}
+
+type fusedMember struct {
+	op    *ir.Op
+	attrs ir.Attrs
+	args  []argRef
+}
+
+// buildFusedBinding replaces the bindings of a group with a single binding
+// of a synthesized composite operator.
+func buildFusedBinding(bs []binding, ops []*ir.Op, id int) binding {
+	n := len(ops)
+	memberOf := map[*ir.Var]int{}
+	var externals []ir.Expr
+	extIdx := map[ir.Expr]int{}
+
+	members := make([]fusedMember, n)
+	names := make([]string, n)
+	for m := 0; m < n; m++ {
+		call, op := opCall(bs[m].value)
+		names[m] = op.Name
+		refs := make([]argRef, len(call.Args))
+		for ai, a := range call.Args {
+			if v, ok := a.(*ir.Var); ok {
+				if mi, internal := memberOf[v]; internal {
+					refs[ai] = argRef{internal: true, idx: mi}
+					continue
+				}
+			}
+			idx, seen := extIdx[a]
+			if !seen {
+				idx = len(externals)
+				extIdx[a] = idx
+				externals = append(externals, a)
+			}
+			refs[ai] = argRef{idx: idx}
+		}
+		members[m] = fusedMember{op: op, attrs: call.Attrs, args: refs}
+		memberOf[bs[m].v] = m
+	}
+
+	outType := bs[n-1].value.CheckedType()
+	fused := &ir.Op{
+		Name: fmt.Sprintf("fused%d(%s)", id, strings.Join(names, "+")),
+		Rel: func(_ []ir.Type, _ ir.Attrs) (ir.Type, error) {
+			if outType == nil {
+				return nil, fmt.Errorf("passes: fused op lost its output type")
+			}
+			return outType, nil
+		},
+		Shape: ir.ShapeFunc{
+			Mode: ir.ShapeDataIndependent,
+			Fn:   composeShapeFuncs(members),
+		},
+		Eval:      composeEvals(members),
+		Pattern:   ir.PatternOpaque,
+		NumInputs: len(externals),
+	}
+	call := ir.NewCall(&ir.OpRef{Op: fused}, externals, nil)
+	call.SetCheckedType(outType)
+	return binding{v: bs[n-1].v, value: call}
+}
+
+// composeShapeFuncs chains the members' data-independent shape functions:
+// "the compiler can easily connect the shape functions of basic operators to
+// form the shape function for a composite operator when all shape functions
+// are data independent" (§4.2).
+func composeShapeFuncs(members []fusedMember) func([]tensor.Shape, []*tensor.Tensor, ir.Attrs) ([]tensor.Shape, error) {
+	return func(inShapes []tensor.Shape, _ []*tensor.Tensor, _ ir.Attrs) ([]tensor.Shape, error) {
+		memberShapes := make([]tensor.Shape, len(members))
+		for m, mem := range members {
+			argShapes := make([]tensor.Shape, len(mem.args))
+			for i, r := range mem.args {
+				if r.internal {
+					argShapes[i] = memberShapes[r.idx]
+				} else {
+					if r.idx >= len(inShapes) {
+						return nil, fmt.Errorf("passes: fused shape func missing input %d", r.idx)
+					}
+					argShapes[i] = inShapes[r.idx]
+				}
+			}
+			out, err := mem.op.Shape.Fn(argShapes, nil, mem.attrs)
+			if err != nil {
+				return nil, err
+			}
+			memberShapes[m] = out[0]
+		}
+		return []tensor.Shape{memberShapes[len(members)-1]}, nil
+	}
+}
+
+// composeEvals chains the members' kernels into one composite kernel.
+func composeEvals(members []fusedMember) ir.EvalFunc {
+	return func(args []*tensor.Tensor, _ ir.Attrs) (*tensor.Tensor, error) {
+		results := make([]*tensor.Tensor, len(members))
+		for m, mem := range members {
+			in := make([]*tensor.Tensor, len(mem.args))
+			for i, r := range mem.args {
+				if r.internal {
+					in[i] = results[r.idx]
+				} else {
+					in[i] = args[r.idx]
+				}
+			}
+			out, err := mem.op.Eval(in, mem.attrs)
+			if err != nil {
+				return nil, fmt.Errorf("passes: fused member %s: %w", mem.op.Name, err)
+			}
+			results[m] = out
+		}
+		return results[len(members)-1], nil
+	}
+}

@@ -1,0 +1,291 @@
+package passes
+
+import (
+	"fmt"
+
+	"nimble/internal/ir"
+)
+
+// AllocStats reports what the memory planner did, feeding the §6.3 study.
+type AllocStats struct {
+	// StaticAllocs counts alloc_storage bindings with compile-time sizes.
+	StaticAllocs int
+	// DynamicAllocs counts allocations whose size comes from a runtime
+	// shape function.
+	DynamicAllocs int
+	// ShapeFuncs counts inserted shape-function invocations.
+	ShapeFuncs int
+	// Kills counts inserted kill operations.
+	Kills int
+}
+
+// ManifestAlloc is the §4.3 memory-planning transform: it rewrites the
+// implicit-allocation IR ("each operator allocates its output") into the
+// explicit dialect where buffers are allocated and passed around —
+// alloc_storage / alloc_tensor / invoke_mut / kill. Statically shaped
+// results get compile-time-sized storage; dynamically shaped results get a
+// shape-function invocation followed by runtime-sized allocation, exactly
+// the fixed-point the paper describes ("we must now manifest allocations...
+// until we allocate for both the compute and necessary shape functions").
+func ManifestAlloc(target ir.Device) Pass {
+	return ManifestAllocWithStats(target, nil)
+}
+
+// ManifestAllocWithStats is ManifestAlloc recording statistics.
+func ManifestAllocWithStats(target ir.Device, stats *AllocStats) Pass {
+	return Pass{
+		Name:       "manifest-alloc",
+		NeedsTypes: true,
+		Run: func(mod *ir.Module) error {
+			for _, name := range mod.FuncNames() {
+				fn := mod.Funcs[name]
+				body, err := manifestExpr(fn.Body, target, stats)
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				fn.Body = body
+			}
+			return nil
+		},
+	}
+}
+
+func manifestExpr(e ir.Expr, target ir.Device, stats *AllocStats) (ir.Expr, error) {
+	// Recurse into branch bodies and nested functions first.
+	var rerr error
+	e = ir.Rewrite(e, func(x ir.Expr) ir.Expr {
+		if rerr != nil {
+			return x
+		}
+		switch n := x.(type) {
+		case *ir.If:
+			thenB, err := manifestChain(n.Then, target, stats)
+			if err != nil {
+				rerr = err
+				return x
+			}
+			elseB, err := manifestChain(n.Else, target, stats)
+			if err != nil {
+				rerr = err
+				return x
+			}
+			out := &ir.If{Cond: n.Cond, Then: thenB, Else: elseB}
+			out.SetCheckedType(n.CheckedType())
+			return out
+		case *ir.Match:
+			clauses := make([]*ir.Clause, len(n.Clauses))
+			for i, c := range n.Clauses {
+				b, err := manifestChain(c.Body, target, stats)
+				if err != nil {
+					rerr = err
+					return x
+				}
+				clauses[i] = &ir.Clause{Pattern: c.Pattern, Body: b}
+			}
+			out := &ir.Match{Data: n.Data, Clauses: clauses}
+			out.SetCheckedType(n.CheckedType())
+			return out
+		case *ir.Function:
+			b, err := manifestChain(n.Body, target, stats)
+			if err != nil {
+				rerr = err
+				return x
+			}
+			out := ir.NewFunc(n.Params, b, n.RetAnn)
+			out.SetCheckedType(n.CheckedType())
+			return out
+		}
+		return x
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	return manifestChain(e, target, stats)
+}
+
+// alreadyDialect reports whether the binding is already part of the
+// explicit-allocation dialect (idempotence guard).
+func alreadyDialect(op *ir.Op) bool {
+	if op == nil {
+		return false
+	}
+	switch op.Name {
+	case ir.OpAllocStorage, ir.OpAllocTensor, ir.OpAllocTensorReg,
+		ir.OpInvokeMut, ir.OpKill, ir.OpShapeOf, ir.OpInvokeShapeFunc,
+		ir.OpDeviceCopy, ir.OpReshapeTensor:
+		return true
+	}
+	return false
+}
+
+func manifestChain(e ir.Expr, target ir.Device, stats *AllocStats) (ir.Expr, error) {
+	bs, result := splitChain(e)
+	fresh := 0
+	newVar := func(prefix string) *ir.Var {
+		fresh++
+		return ir.NewVar(fmt.Sprintf("%s%d", prefix, fresh), nil)
+	}
+	// A primitive call in tail position is bound first so it is allocated
+	// like any other operation.
+	if _, op := opCall(result); op != nil && op.Eval != nil && !alreadyDialect(op) {
+		rv := newVar("ret")
+		rv.SetCheckedType(result.CheckedType())
+		bs = append(bs, binding{v: rv, value: result})
+		result = rv
+	}
+
+	var out []binding
+	for _, b := range bs {
+		call, op := opCall(b.value)
+		if op == nil || op.Eval == nil || alreadyDialect(op) {
+			out = append(out, b)
+			continue
+		}
+		outType, ok := b.value.CheckedType().(*ir.TensorType)
+		if !ok {
+			// Non-tensor results (rare) stay implicit.
+			out = append(out, b)
+			continue
+		}
+
+		if shape, static := outType.StaticShape(); static {
+			// Static path: compile-time-sized storage.
+			sizeBytes := shape.NumElements() * outType.DType.Size()
+			sv := newVar("storage")
+			out = append(out, binding{v: sv, value: callDialect(ir.OpAllocStorage, nil, ir.Attrs{
+				"size": sizeBytes, "align": 64,
+				"device": int(target.Type), "device_id": target.ID,
+			})})
+			tv := newVar("buf")
+			out = append(out, binding{v: tv, value: callDialect(ir.OpAllocTensor, []ir.Expr{sv}, ir.Attrs{
+				"shape": []int(shape), "dtype": outType.DType.String(), "offset": 0,
+			})})
+			out = append(out, binding{v: b.v, value: invokeMut(op, call, tv)})
+			if stats != nil {
+				stats.StaticAllocs++
+			}
+			continue
+		}
+
+		// Dynamic path: run the shape function, then allocate by its result.
+		mode := op.Shape.Mode
+		if op.Shape.Fn == nil {
+			return nil, fmt.Errorf("operator %s has a dynamic output type but no shape function", op.Name)
+		}
+		var sfArgs []ir.Expr
+		sfArgs = append(sfArgs, &ir.OpRef{Op: op})
+		if mode == ir.ShapeDataDependent {
+			// Data-dependent shape functions need the values themselves.
+			sfArgs = append(sfArgs, call.Args...)
+		} else {
+			// Data-independent / upper-bound: shapes suffice.
+			for _, a := range call.Args {
+				shv := newVar("sh")
+				out = append(out, binding{v: shv, value: callDialect(ir.OpShapeOf, []ir.Expr{a}, nil)})
+				sfArgs = append(sfArgs, shv)
+			}
+		}
+		oshv := newVar("osh")
+		sfAttrs := ir.Attrs{"mode": int(mode)}
+		for k, v := range call.Attrs {
+			sfAttrs[k] = v
+		}
+		out = append(out, binding{v: oshv, value: callDialect(ir.OpInvokeShapeFunc, sfArgs, sfAttrs)})
+		if stats != nil {
+			stats.ShapeFuncs++
+		}
+
+		sv := newVar("storage")
+		out = append(out, binding{v: sv, value: callDialect(ir.OpAllocStorage, []ir.Expr{oshv}, ir.Attrs{
+			"align": 64, "dtype": outType.DType.String(),
+			"device": int(target.Type), "device_id": target.ID,
+		})})
+		tv := newVar("buf")
+		out = append(out, binding{v: tv, value: callDialect(ir.OpAllocTensorReg, []ir.Expr{sv, oshv}, ir.Attrs{
+			"dtype": outType.DType.String(), "rank": outType.Rank(),
+		})})
+		out = append(out, binding{v: b.v, value: invokeMut(op, call, tv)})
+		if stats != nil {
+			stats.DynamicAllocs++
+		}
+	}
+
+	out = insertKills(out, result, stats)
+	return buildChain(out, result), nil
+}
+
+func callDialect(name string, args []ir.Expr, attrs ir.Attrs) ir.Expr {
+	return ir.CallOpAttrs(name, attrs, args...)
+}
+
+// invokeMut builds invoke_mut(opref, inputs..., out). The callee operator
+// travels as the first argument (an atomic OpRef) so synthesized fused
+// operators — which are not in the global registry — can be referenced.
+func invokeMut(op *ir.Op, call *ir.Call, out ir.Expr) ir.Expr {
+	args := make([]ir.Expr, 0, len(call.Args)+2)
+	args = append(args, &ir.OpRef{Op: op})
+	args = append(args, call.Args...)
+	args = append(args, out)
+	c := ir.CallOpAttrs(ir.OpInvokeMut, mergeAttrs(call.Attrs, ir.Attrs{"num_outputs": 1}), args...)
+	c.SetCheckedType(call.CheckedType())
+	return c
+}
+
+func mergeAttrs(a, b ir.Attrs) ir.Attrs {
+	out := ir.Attrs{}
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// insertKills adds kill(v) after the last top-level use of every
+// invoke_mut-produced tensor that does not escape the chain, freeing
+// buffers "before their reference count becomes zero due to exiting the
+// frame" (§4.3) so storage coalescing and the runtime pool can reuse them.
+func insertKills(bs []binding, result ir.Expr, stats *AllocStats) []binding {
+	produced := map[*ir.Var]bool{}
+	for _, b := range bs {
+		if _, op := opCall(b.value); op != nil && op.Name == ir.OpInvokeMut {
+			produced[b.v] = true
+		}
+	}
+	if len(produced) == 0 {
+		return bs
+	}
+	// A var used by the result expression (or inside nested sub-chains of
+	// any binding) escapes its position; we track last top-level use index.
+	lastUse := map[*ir.Var]int{}
+	for i, b := range bs {
+		for _, v := range ir.FreeVars(b.value) {
+			if produced[v] {
+				lastUse[v] = i
+			}
+		}
+	}
+	escapes := map[*ir.Var]bool{}
+	for _, v := range ir.FreeVars(result) {
+		escapes[v] = true
+	}
+
+	var out []binding
+	killCounter := 0
+	for i, b := range bs {
+		out = append(out, b)
+		for v := range produced {
+			if lastUse[v] == i && !escapes[v] && v != b.v {
+				killCounter++
+				kv := ir.NewVar(fmt.Sprintf("kill%d", killCounter), nil)
+				out = append(out, binding{v: kv, value: callDialect(ir.OpKill, []ir.Expr{v}, nil)})
+				if stats != nil {
+					stats.Kills++
+				}
+				delete(produced, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package platform is the cost-model simulator that produces the ARM-CPU
+// and Nvidia-GPU columns of the evaluation tables. The reproduction has no
+// such hardware (repro band 2: CUDA/ARM interop is gated), so those columns
+// are simulated per DESIGN.md §2: the *measured* host-CPU column exercises
+// every real code path, and the simulator re-costs the same workload with
+// per-platform parameters — sustained FLOP rate, memory bandwidth, kernel
+// launch latency, per-instruction dispatch cost — plus per-system traits
+// (framework per-op overhead, vendor-library kernel efficiency on that
+// platform). All parameters are explicit in this file; EXPERIMENTS.md
+// reports simulated columns as simulated.
+package platform
+
+import (
+	"fmt"
+	"time"
+)
+
+// Platform models one hardware target.
+type Platform struct {
+	Name string
+	// FlopsPerSec is the sustained rate a well-tuned kernel achieves.
+	FlopsPerSec float64
+	// MemBW is sustained memory bandwidth in bytes/sec.
+	MemBW float64
+	// KernelLaunch is charged per kernel invocation (device launch or
+	// function-call cost).
+	KernelLaunch time.Duration
+	// DispatchCost is charged per non-kernel instruction / scheduled node.
+	DispatchCost time.Duration
+	// OverlapHost reports whether host-side instruction time overlaps with
+	// device kernel execution — true for the GPU, where "most of bytecode
+	// latency is overlapped with the GPU execution" (§6.3, Table 4).
+	OverlapHost bool
+}
+
+// The evaluation platforms (c5.9xlarge Skylake, g4dn T4, a1.4xlarge A72).
+// Rates are effective kernel-level throughputs, not peak datasheet numbers.
+var (
+	IntelCPU = Platform{
+		Name: "Intel CPU", FlopsPerSec: 250e9, MemBW: 60e9,
+		KernelLaunch: 150 * time.Nanosecond, DispatchCost: 25 * time.Nanosecond,
+	}
+	NvidiaGPU = Platform{
+		Name: "Nvidia GPU", FlopsPerSec: 2500e9, MemBW: 250e9,
+		KernelLaunch: 6 * time.Microsecond, DispatchCost: 25 * time.Nanosecond,
+		OverlapHost: true,
+	}
+	ARMCPU = Platform{
+		Name: "ARM CPU", FlopsPerSec: 25e9, MemBW: 15e9,
+		KernelLaunch: 200 * time.Nanosecond, DispatchCost: 40 * time.Nanosecond,
+	}
+)
+
+// SystemTraits models how a software system uses a platform.
+type SystemTraits struct {
+	Name string
+	// PerOpOverhead is framework bookkeeping per operator call (tape node,
+	// Python dispatch, scheduler token). Nimble's is its instruction
+	// dispatch, already counted via DispatchCost.
+	PerOpOverhead time.Duration
+	// KernelEfficiency scales the platform's FLOP rate: vendor libraries
+	// reach ~1.0 on first-tier platforms but far less on ARM, the paper's
+	// explanation for the 9-20x gaps ("frameworks generally perform poorly
+	// on devices ... not in the first tier of device support").
+	KernelEfficiency map[string]float64
+	// FusionFactor scales the number of kernel launches relative to the
+	// fused Nimble program (unfused frameworks launch ~3-4x more kernels).
+	FusionFactor float64
+	// GraphBuildPerRun is charged once per inference (eager tape rebuild,
+	// Fold graph reconstruction).
+	GraphBuildPerRun time.Duration
+}
+
+// Traits for the evaluated systems. Efficiencies encode vendor-library
+// availability per platform; overheads are in the range measured from the
+// real host executors in internal/baselines.
+var (
+	Nimble = SystemTraits{
+		Name: "Nimble", PerOpOverhead: 0,
+		KernelEfficiency: map[string]float64{"Intel CPU": 1.0, "Nvidia GPU": 1.0, "ARM CPU": 1.0},
+		FusionFactor:     1.0,
+	}
+	PyTorch = SystemTraits{
+		Name: "PyTorch", PerOpOverhead: 2 * time.Microsecond,
+		KernelEfficiency: map[string]float64{"Intel CPU": 0.85, "Nvidia GPU": 0.9, "ARM CPU": 0.10},
+		FusionFactor:     3.5,
+	}
+	MXNet = SystemTraits{
+		Name: "MXNet", PerOpOverhead: 5 * time.Microsecond,
+		KernelEfficiency: map[string]float64{"Intel CPU": 0.5, "Nvidia GPU": 0.8, "ARM CPU": 0.05},
+		FusionFactor:     3.5,
+	}
+	TensorFlow = SystemTraits{
+		Name: "TensorFlow", PerOpOverhead: 8 * time.Microsecond,
+		KernelEfficiency: map[string]float64{"Intel CPU": 0.45, "Nvidia GPU": 0.45, "ARM CPU": 0.35},
+		FusionFactor:     4.0,
+	}
+	TFFold = SystemTraits{
+		Name: "TF Fold", PerOpOverhead: 8 * time.Microsecond,
+		KernelEfficiency: map[string]float64{"Intel CPU": 0.6, "Nvidia GPU": 0.5, "ARM CPU": 0.3},
+		FusionFactor:     2.0,                    // batching amortizes kernels...
+		GraphBuildPerRun: 800 * time.Microsecond, // ...but the graph is rebuilt per input
+	}
+)
+
+// Workload describes one inference's work in platform-neutral units.
+type Workload struct {
+	// Kernels is the number of fused-kernel invocations Nimble issues.
+	Kernels int64
+	// Flops is total floating-point work.
+	Flops int64
+	// Bytes is total kernel memory traffic.
+	Bytes int64
+	// OtherInstrs counts non-kernel VM instructions / scheduler tokens.
+	OtherInstrs int64
+	// CopyBytes counts cross-device transfer bytes.
+	CopyBytes int64
+}
+
+// Latency simulates one inference of system `sys` running workload `w` on
+// platform `p` using a roofline kernel model plus launch, dispatch, per-op,
+// and graph-build overheads.
+func Latency(p Platform, sys SystemTraits, w Workload) time.Duration {
+	eff := sys.KernelEfficiency[p.Name]
+	if eff <= 0 {
+		eff = 0.05
+	}
+	compute := float64(w.Flops) / (p.FlopsPerSec * eff)
+	memory := float64(w.Bytes) / p.MemBW
+	kernel := compute
+	if memory > kernel {
+		kernel = memory
+	}
+	launches := float64(w.Kernels) * sys.FusionFactor
+	launchTime := launches * p.KernelLaunch.Seconds()
+	opOverhead := launches * sys.PerOpOverhead.Seconds()
+	hostTime := float64(w.OtherInstrs)*p.DispatchCost.Seconds() + opOverhead + sys.GraphBuildPerRun.Seconds()
+	copyTime := float64(w.CopyBytes) / p.MemBW
+
+	var total float64
+	if p.OverlapHost {
+		// Host-side work overlaps device kernels; only the longer matters,
+		// plus launches which serialize on the stream.
+		device := kernel + launchTime + copyTime
+		if hostTime > device {
+			total = hostTime
+		} else {
+			total = device
+		}
+	} else {
+		total = kernel + launchTime + hostTime + copyTime
+	}
+	return time.Duration(total * float64(time.Second))
+}
+
+// PerToken converts a whole-inference latency to the paper's µs/token unit.
+func PerToken(lat time.Duration, tokens int) float64 {
+	if tokens == 0 {
+		return 0
+	}
+	return float64(lat.Microseconds()) / float64(tokens)
+}
+
+// String summarizes a platform for reports.
+func (p Platform) String() string {
+	return fmt.Sprintf("%s (%.0f GFLOP/s, %.0f GB/s, launch %v)",
+		p.Name, p.FlopsPerSec/1e9, p.MemBW/1e9, p.KernelLaunch)
+}

@@ -1,0 +1,87 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var workload = Workload{Kernels: 100, Flops: 1e9, Bytes: 5e8, OtherInstrs: 500}
+
+func TestLatencyOrderingAcrossPlatforms(t *testing.T) {
+	// For a fixed system, the GPU is fastest and the ARM CPU slowest on a
+	// compute-heavy workload.
+	gpu := Latency(NvidiaGPU, Nimble, workload)
+	intel := Latency(IntelCPU, Nimble, workload)
+	arm := Latency(ARMCPU, Nimble, workload)
+	if !(gpu < intel && intel < arm) {
+		t.Errorf("platform ordering broken: gpu=%v intel=%v arm=%v", gpu, intel, arm)
+	}
+}
+
+func TestFrameworkGapWidensOnARM(t *testing.T) {
+	// The paper's key cross-platform observation: framework slowdowns are
+	// far larger on ARM (no first-tier vendor libraries) than on Intel.
+	gapIntel := float64(Latency(IntelCPU, PyTorch, workload)) / float64(Latency(IntelCPU, Nimble, workload))
+	gapARM := float64(Latency(ARMCPU, PyTorch, workload)) / float64(Latency(ARMCPU, Nimble, workload))
+	if gapARM <= gapIntel {
+		t.Errorf("ARM gap (%.1fx) not wider than Intel gap (%.1fx)", gapARM, gapIntel)
+	}
+	if gapARM < 5 {
+		t.Errorf("ARM gap %.1fx below the paper's 5-20x band", gapARM)
+	}
+}
+
+func TestGPUOverlapHidesHostTime(t *testing.T) {
+	// On the GPU, host instruction time overlaps kernels (Table 4's
+	// "negligible others"): adding host instructions must not add latency
+	// while kernels dominate.
+	small := workload
+	big := workload
+	big.OtherInstrs *= 10
+	if Latency(NvidiaGPU, Nimble, big) != Latency(NvidiaGPU, Nimble, small) {
+		t.Error("host time not overlapped on GPU")
+	}
+	// On the CPU it adds.
+	if Latency(IntelCPU, Nimble, big) <= Latency(IntelCPU, Nimble, small) {
+		t.Error("host time should add on CPU")
+	}
+}
+
+func TestGraphBuildCharge(t *testing.T) {
+	// TF Fold pays a per-inference graph build.
+	withBuild := Latency(IntelCPU, TFFold, workload)
+	noBuild := TFFold
+	noBuild.GraphBuildPerRun = 0
+	without := Latency(IntelCPU, noBuild, workload)
+	if withBuild-without < 700*time.Microsecond {
+		t.Errorf("graph build charge missing: %v vs %v", withBuild, without)
+	}
+}
+
+func TestMemoryBoundWorkload(t *testing.T) {
+	// A byte-heavy workload is bandwidth-limited: raising flops below the
+	// roofline knee must not change latency.
+	memBound := Workload{Kernels: 1, Flops: 1, Bytes: 6e9}
+	a := Latency(IntelCPU, Nimble, memBound)
+	memBound.Flops = 1e6
+	if Latency(IntelCPU, Nimble, memBound) != a {
+		t.Error("memory-bound latency changed with negligible flops")
+	}
+}
+
+func TestPerTokenAndString(t *testing.T) {
+	if PerToken(2*time.Millisecond, 100) != 20 {
+		t.Error("PerToken wrong")
+	}
+	if PerToken(time.Second, 0) != 0 {
+		t.Error("PerToken zero tokens")
+	}
+	if !strings.Contains(IntelCPU.String(), "GFLOP") {
+		t.Error("String missing units")
+	}
+	unknownEff := SystemTraits{Name: "x", KernelEfficiency: map[string]float64{}, FusionFactor: 1}
+	if Latency(IntelCPU, unknownEff, workload) <= 0 {
+		t.Error("missing efficiency should fall back, not zero out")
+	}
+}

@@ -1,0 +1,86 @@
+// Package tensor implements the dense n-dimensional array substrate that the
+// Nimble compiler and virtual machine operate on. It provides typed storage,
+// shape and stride arithmetic, element access, broadcasting helpers, and a
+// compact binary serialization format used by the VM constant pool.
+//
+// The package is deliberately free of any operator math; compute kernels live
+// in internal/kernels so that the codegen layer can swap kernel
+// implementations without touching the data representation.
+package tensor
+
+import "fmt"
+
+// DType enumerates the element types supported by the runtime. The set
+// mirrors the types Nimble's evaluation needs: float32 for model weights and
+// activations, float64 for reductions in tests, int32/int64 for indices and
+// shape data, and bool for masks and predicates.
+type DType uint8
+
+const (
+	// Float32 is the default dtype for weights and activations.
+	Float32 DType = iota
+	// Float64 is used by high-precision reference paths in tests.
+	Float64
+	// Int32 is used for small index tensors.
+	Int32
+	// Int64 is the dtype of shape tensors and token ids.
+	Int64
+	// Bool is used for masks and branch predicates.
+	Bool
+)
+
+// Size returns the byte width of one element of the dtype.
+func (d DType) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	case Bool:
+		return 1
+	}
+	panic(fmt.Sprintf("tensor: unknown dtype %d", d))
+}
+
+// String returns the canonical lower-case name used by the IR printer,
+// e.g. "float32".
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Bool:
+		return "bool"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// IsFloat reports whether the dtype is a floating-point type.
+func (d DType) IsFloat() bool { return d == Float32 || d == Float64 }
+
+// IsInt reports whether the dtype is an integer type.
+func (d DType) IsInt() bool { return d == Int32 || d == Int64 }
+
+// ParseDType converts a canonical dtype name back to its DType. It is the
+// inverse of String and is used by the executable deserializer and the CLI
+// tools.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "float32", "f32":
+		return Float32, nil
+	case "float64", "f64":
+		return Float64, nil
+	case "int32", "i32":
+		return Int32, nil
+	case "int64", "i64":
+		return Int64, nil
+	case "bool":
+		return Bool, nil
+	}
+	return 0, fmt.Errorf("tensor: unknown dtype %q", s)
+}

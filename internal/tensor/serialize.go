@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary layout (little-endian):
+//
+//	u8   dtype
+//	u32  rank
+//	u64  dims[rank]
+//	u64  payload element count (redundant with dims; checked on load)
+//	...  payload (elements in row-major order)
+//
+// The format backs the constant pool of serialized VM executables. It is
+// intentionally simple: constants dominate executable size, so the only
+// property that matters is streaming without reflection.
+
+// WriteTo serializes the tensor to w.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 1+4)
+	hdr[0] = byte(t.dtype)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(t.shape)))
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf8 := make([]byte, 8)
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint64(buf8, uint64(d))
+		k, err = w.Write(buf8)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	binary.LittleEndian.PutUint64(buf8, uint64(t.NumElements()))
+	k, err = w.Write(buf8)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	payload := t.encodePayload()
+	k, err = w.Write(payload)
+	n += int64(k)
+	return n, err
+}
+
+func (t *Tensor) encodePayload() []byte {
+	n := t.NumElements()
+	out := make([]byte, n*t.dtype.Size())
+	switch t.dtype {
+	case Float32:
+		for i, v := range t.f32 {
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+		}
+	case Float64:
+		for i, v := range t.f64 {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+	case Int32:
+		for i, v := range t.i32 {
+			binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+		}
+	case Int64:
+		for i, v := range t.i64 {
+			binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+		}
+	case Bool:
+		for i, v := range t.b {
+			if v {
+				out[i] = 1
+			}
+		}
+	}
+	return out
+}
+
+// ReadFrom deserializes a tensor previously written by WriteTo.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("tensor: reading header: %w", err)
+	}
+	dt := DType(hdr[0])
+	if dt > Bool {
+		return nil, fmt.Errorf("tensor: corrupt dtype byte %d", hdr[0])
+	}
+	rank := binary.LittleEndian.Uint32(hdr[1:])
+	if rank > 64 {
+		return nil, fmt.Errorf("tensor: implausible rank %d", rank)
+	}
+	buf8 := make([]byte, 8)
+	shape := make(Shape, rank)
+	for i := range shape {
+		if _, err := io.ReadFull(r, buf8); err != nil {
+			return nil, fmt.Errorf("tensor: reading dim %d: %w", i, err)
+		}
+		d := binary.LittleEndian.Uint64(buf8)
+		if d > math.MaxInt32 {
+			return nil, fmt.Errorf("tensor: implausible dimension %d", d)
+		}
+		shape[i] = int(d)
+	}
+	if _, err := io.ReadFull(r, buf8); err != nil {
+		return nil, fmt.Errorf("tensor: reading element count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(buf8)
+	if int(count) != shape.NumElements() {
+		return nil, fmt.Errorf("tensor: element count %d does not match shape %v", count, shape)
+	}
+	t := New(dt, shape...)
+	payload := make([]byte, int(count)*dt.Size())
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("tensor: reading payload: %w", err)
+	}
+	switch dt {
+	case Float32:
+		for i := range t.f32 {
+			t.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+		}
+	case Float64:
+		for i := range t.f64 {
+			t.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case Int32:
+		for i := range t.i32 {
+			t.i32[i] = int32(binary.LittleEndian.Uint32(payload[i*4:]))
+		}
+	case Int64:
+		for i := range t.i64 {
+			t.i64[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case Bool:
+		for i := range t.b {
+			t.b[i] = payload[i] != 0
+		}
+	}
+	return t, nil
+}
+
+// String renders a compact description such as "Tensor[(2, 3), float32]".
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor[%s, %s]", t.shape, t.dtype)
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape is a concrete (fully known) tensor shape. Symbolic shapes containing
+// Any dimensions exist only in the IR type system (internal/ir); by the time
+// data reaches a Tensor every dimension is a concrete non-negative integer.
+type Shape []int
+
+// NumElements returns the product of all dimensions. A scalar (rank 0) has
+// one element. Shapes with a zero dimension have zero elements, which is a
+// legal transient state for dynamic models (e.g. an empty beam).
+func (s Shape) NumElements() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and dimensions.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every dimension is non-negative.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape as "(d0, d1, ...)" matching the paper's
+// Tensor[(1, 10, Any), float32] notation (without the Any, which cannot
+// appear in a concrete shape).
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Strides returns the row-major element strides for the shape.
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// BroadcastShapes computes the NumPy-broadcast result of two concrete shapes,
+// aligning trailing dimensions. It returns an error when a dimension pair is
+// incompatible (neither equal nor one of them 1). This is the runtime
+// counterpart of the broadcast type relation in internal/ir; the type
+// relation may defer checks involving Any to runtime, and this function is
+// where those deferred (gradually typed) checks finally fail.
+func BroadcastShapes(a, b Shape) (Shape, error) {
+	rank := len(a)
+	if len(b) > rank {
+		rank = len(b)
+	}
+	out := make(Shape, rank)
+	for i := 0; i < rank; i++ {
+		da, db := 1, 1
+		if i >= rank-len(a) {
+			da = a[i-(rank-len(a))]
+		}
+		if i >= rank-len(b) {
+			db = b[i-(rank-len(b))]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: cannot broadcast shapes %v and %v at axis %d (%d vs %d)", a, b, i, da, db)
+		}
+	}
+	return out, nil
+}
+
+// index computes the linear offset of coordinate idx under strides st.
+func index(idx, st []int) int {
+	off := 0
+	for i, v := range idx {
+		off += v * st[i]
+	}
+	return off
+}

@@ -1,0 +1,508 @@
+// Package typeinfer implements Nimble's dynamic type inference (§4.1): it
+// checks and infers tensor types whose dimensions may be Any, propagating
+// unknown dimensions through operator type relations, joining control-flow
+// branches in the sub-shape lattice, and deferring checks that cannot be
+// decided statically to runtime (gradual typing). It also performs the
+// Any-identity analysis: Any dimensions that provably denote the same
+// runtime extent share a symbolic id, which the codegen layer uses to share
+// residue-dispatch tables between kernels.
+package typeinfer
+
+import (
+	"fmt"
+
+	"nimble/internal/ir"
+)
+
+// InferModule type-checks every function in the module, attaching checked
+// types to all expression nodes. Functions may be mutually recursive: their
+// signatures (from annotations) are registered before any body is inferred.
+func InferModule(m *ir.Module) error {
+	inf := &inferencer{
+		mod:     m,
+		sigs:    map[string]*ir.FuncType{},
+		nextSym: 1,
+	}
+	// First pass: collect signatures from annotations so recursive calls
+	// (Tree-LSTM's recursion over the Tree ADT) resolve without inferring
+	// callee bodies.
+	for _, name := range m.FuncNames() {
+		fn := m.Funcs[name]
+		sig, err := inf.signatureOf(name, fn)
+		if err != nil {
+			return err
+		}
+		inf.sigs[name] = sig
+	}
+	// Second pass: infer bodies and check them against declared returns.
+	for _, name := range m.FuncNames() {
+		fn := m.Funcs[name]
+		if err := inf.inferFunction(name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InferFunc type-checks a standalone function (used by tests and by passes
+// that synthesize helper functions).
+func InferFunc(fn *ir.Function) error {
+	inf := &inferencer{mod: ir.NewModule(), sigs: map[string]*ir.FuncType{}, nextSym: 1}
+	return inf.inferFunction("<anon>", fn)
+}
+
+type inferencer struct {
+	mod     *ir.Module
+	sigs    map[string]*ir.FuncType
+	nextSym int
+}
+
+// freshSym allocates a new symbolic identity class for an Any dimension.
+func (inf *inferencer) freshSym() int {
+	s := inf.nextSym
+	inf.nextSym++
+	return s
+}
+
+// signatureOf derives a function's type from its annotations. Parameters
+// must be annotated (models always annotate inputs); anonymous Any dims in
+// parameter annotations are assigned fresh symbolic identities here, seeding
+// the identity analysis. The return annotation may be nil for
+// non-recursive functions (it is then discovered during body inference).
+func (inf *inferencer) signatureOf(name string, fn *ir.Function) (*ir.FuncType, error) {
+	params := make([]ir.Type, len(fn.Params))
+	for i, p := range fn.Params {
+		if p.TypeAnn == nil {
+			return nil, fmt.Errorf("typeinfer: %s: parameter %q lacks a type annotation", name, p.Name)
+		}
+		p.TypeAnn = inf.symbolize(p.TypeAnn)
+		params[i] = p.TypeAnn
+	}
+	return &ir.FuncType{Params: params, Ret: fn.RetAnn}, nil
+}
+
+// symbolize replaces anonymous Any dims in a type with fresh symbolic ids.
+func (inf *inferencer) symbolize(t ir.Type) ir.Type {
+	switch tt := t.(type) {
+	case *ir.TensorType:
+		dims := make([]ir.Dim, len(tt.Dims))
+		changed := false
+		for i, d := range tt.Dims {
+			if d.IsAny() && d.Sym == 0 {
+				dims[i] = ir.SymDim(inf.freshSym())
+				changed = true
+			} else {
+				dims[i] = d
+			}
+		}
+		if !changed {
+			return tt
+		}
+		return &ir.TensorType{Dims: dims, DType: tt.DType}
+	case *ir.TupleType:
+		fields := make([]ir.Type, len(tt.Fields))
+		for i, f := range tt.Fields {
+			fields[i] = inf.symbolize(f)
+		}
+		return &ir.TupleType{Fields: fields}
+	default:
+		return t
+	}
+}
+
+func (inf *inferencer) inferFunction(name string, fn *ir.Function) error {
+	env := map[*ir.Var]ir.Type{}
+	for _, p := range fn.Params {
+		if p.TypeAnn == nil {
+			return fmt.Errorf("typeinfer: %s: parameter %q lacks a type annotation", name, p.Name)
+		}
+		p.TypeAnn = inf.symbolize(p.TypeAnn)
+		env[p] = p.TypeAnn
+		p.SetCheckedType(p.TypeAnn)
+	}
+	bodyT, err := inf.infer(fn.Body, env)
+	if err != nil {
+		return fmt.Errorf("typeinfer: %s: %w", name, err)
+	}
+	if fn.RetAnn != nil {
+		if !assignable(bodyT, fn.RetAnn) {
+			return fmt.Errorf("typeinfer: %s: body type %s not assignable to declared return %s", name, bodyT, fn.RetAnn)
+		}
+	} else {
+		fn.RetAnn = bodyT
+	}
+	params := make([]ir.Type, len(fn.Params))
+	for i, p := range fn.Params {
+		params[i] = p.TypeAnn
+	}
+	fn.SetCheckedType(&ir.FuncType{Params: params, Ret: fn.RetAnn})
+	if sig, ok := inf.sigs[name]; ok && sig.Ret == nil {
+		sig.Ret = fn.RetAnn
+	}
+	return nil
+}
+
+// assignable implements sub-shaping assignability across all type kinds.
+func assignable(from, to ir.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if ft, ok := from.(*ir.TensorType); ok {
+		if tt, ok := to.(*ir.TensorType); ok {
+			return ft.AssignableTo(tt)
+		}
+		return false
+	}
+	if ft, ok := from.(*ir.TupleType); ok {
+		tt, ok := to.(*ir.TupleType)
+		if !ok || len(ft.Fields) != len(tt.Fields) {
+			return false
+		}
+		for i := range ft.Fields {
+			if !assignable(ft.Fields[i], tt.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return from.EqualType(to)
+}
+
+// join computes the least upper bound of two types in the sub-shape lattice,
+// used at control-flow merges (If branches, Match clauses): equal dims stay,
+// conflicting or unknown dims widen to Any. A growing-tensor loop — the
+// paper's "program which grows a tensor on each loop iteration" decoder
+// example — types precisely because the loop-carried value joins (n, d) with
+// (n+1, d) into (Any, d).
+func join(a, b ir.Type) (ir.Type, error) {
+	if ta, ok := a.(*ir.TensorType); ok {
+		tb, ok := b.(*ir.TensorType)
+		if !ok {
+			return nil, fmt.Errorf("typeinfer: cannot join %s with %s", a, b)
+		}
+		if ta.DType != tb.DType {
+			return nil, fmt.Errorf("typeinfer: cannot join dtypes %s and %s", ta.DType, tb.DType)
+		}
+		if len(ta.Dims) != len(tb.Dims) {
+			return nil, fmt.Errorf("typeinfer: cannot join ranks %d and %d (dynamic rank unsupported)", len(ta.Dims), len(tb.Dims))
+		}
+		dims := make([]ir.Dim, len(ta.Dims))
+		for i := range dims {
+			da, db := ta.Dims[i], tb.Dims[i]
+			switch {
+			case da.Equal(db):
+				dims[i] = da
+			case da.IsAny() && db.IsAny():
+				dims[i] = ir.AnyDim() // different identities: widen to anonymous
+			default:
+				dims[i] = ir.AnyDim()
+			}
+		}
+		return &ir.TensorType{Dims: dims, DType: ta.DType}, nil
+	}
+	if ta, ok := a.(*ir.TupleType); ok {
+		tb, ok := b.(*ir.TupleType)
+		if !ok || len(ta.Fields) != len(tb.Fields) {
+			return nil, fmt.Errorf("typeinfer: cannot join %s with %s", a, b)
+		}
+		fields := make([]ir.Type, len(ta.Fields))
+		for i := range fields {
+			f, err := join(ta.Fields[i], tb.Fields[i])
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = f
+		}
+		return &ir.TupleType{Fields: fields}, nil
+	}
+	if !a.EqualType(b) {
+		return nil, fmt.Errorf("typeinfer: cannot join %s with %s", a, b)
+	}
+	return a, nil
+}
+
+func (inf *inferencer) infer(e ir.Expr, env map[*ir.Var]ir.Type) (ir.Type, error) {
+	t, err := inf.inferInner(e, env)
+	if err != nil {
+		return nil, err
+	}
+	e.SetCheckedType(t)
+	return t, nil
+}
+
+func (inf *inferencer) inferInner(e ir.Expr, env map[*ir.Var]ir.Type) (ir.Type, error) {
+	switch n := e.(type) {
+	case *ir.Var:
+		t, ok := env[n]
+		if !ok {
+			if n.TypeAnn != nil {
+				return n.TypeAnn, nil
+			}
+			return nil, fmt.Errorf("unbound variable %%%s", n.Name)
+		}
+		return t, nil
+
+	case *ir.GlobalVar:
+		sig, ok := inf.sigs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("unknown global @%s", n.Name)
+		}
+		return sig, nil
+
+	case *ir.Constant:
+		dims := make([]ir.Dim, n.Value.Rank())
+		for i, d := range n.Value.Shape() {
+			dims[i] = ir.StaticDim(d)
+		}
+		return &ir.TensorType{Dims: dims, DType: n.Value.DType()}, nil
+
+	case *ir.OpRef:
+		// Bare operator references only appear as callees; give them an
+		// opaque function type.
+		return &ir.FuncType{}, nil
+
+	case *ir.CtorRef:
+		return &ir.FuncType{Params: n.Ctor.Fields, Ret: n.Ctor.Def.Type()}, nil
+
+	case *ir.Call:
+		return inf.inferCall(n, env)
+
+	case *ir.Function:
+		// Function literal (closure): parameters must be annotated.
+		inner := make(map[*ir.Var]ir.Type, len(env)+len(n.Params))
+		for k, v := range env {
+			inner[k] = v
+		}
+		params := make([]ir.Type, len(n.Params))
+		for i, p := range n.Params {
+			if p.TypeAnn == nil {
+				return nil, fmt.Errorf("closure parameter %q lacks a type annotation", p.Name)
+			}
+			p.TypeAnn = inf.symbolize(p.TypeAnn)
+			inner[p] = p.TypeAnn
+			p.SetCheckedType(p.TypeAnn)
+			params[i] = p.TypeAnn
+		}
+		bodyT, err := inf.infer(n.Body, inner)
+		if err != nil {
+			return nil, err
+		}
+		if n.RetAnn != nil && !assignable(bodyT, n.RetAnn) {
+			return nil, fmt.Errorf("closure body %s not assignable to %s", bodyT, n.RetAnn)
+		}
+		ret := n.RetAnn
+		if ret == nil {
+			ret = bodyT
+		}
+		return &ir.FuncType{Params: params, Ret: ret}, nil
+
+	case *ir.Let:
+		vt, err := inf.infer(n.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.Bound.TypeAnn != nil && !assignable(vt, n.Bound.TypeAnn) {
+			return nil, fmt.Errorf("let %%%s: value %s not assignable to annotation %s", n.Bound.Name, vt, n.Bound.TypeAnn)
+		}
+		n.Bound.SetCheckedType(vt)
+		saved, had := env[n.Bound]
+		env[n.Bound] = vt
+		bodyT, err := inf.infer(n.Body, env)
+		if had {
+			env[n.Bound] = saved
+		} else {
+			delete(env, n.Bound)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return bodyT, nil
+
+	case *ir.If:
+		condT, err := inf.infer(n.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		ct, ok := condT.(*ir.TensorType)
+		if !ok || ct.Rank() != 0 {
+			return nil, fmt.Errorf("if condition must be a scalar, got %s", condT)
+		}
+		thenT, err := inf.infer(n.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		elseT, err := inf.infer(n.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		return join(thenT, elseT)
+
+	case *ir.Tuple:
+		fields := make([]ir.Type, len(n.Fields))
+		for i, f := range n.Fields {
+			t, err := inf.infer(f, env)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = t
+		}
+		return &ir.TupleType{Fields: fields}, nil
+
+	case *ir.TupleGet:
+		tt, err := inf.infer(n.Tuple, env)
+		if err != nil {
+			return nil, err
+		}
+		tup, ok := tt.(*ir.TupleType)
+		if !ok {
+			return nil, fmt.Errorf("tuple projection on non-tuple %s", tt)
+		}
+		if n.Index < 0 || n.Index >= len(tup.Fields) {
+			return nil, fmt.Errorf("tuple index %d out of range for %s", n.Index, tt)
+		}
+		return tup.Fields[n.Index], nil
+
+	case *ir.Match:
+		return inf.inferMatch(n, env)
+
+	default:
+		return nil, fmt.Errorf("cannot infer %s", ir.ExprKind(e))
+	}
+}
+
+func (inf *inferencer) inferCall(n *ir.Call, env map[*ir.Var]ir.Type) (ir.Type, error) {
+	argTypes := make([]ir.Type, len(n.Args))
+	for i, a := range n.Args {
+		t, err := inf.infer(a, env)
+		if err != nil {
+			return nil, err
+		}
+		argTypes[i] = t
+	}
+	switch callee := n.Callee.(type) {
+	case *ir.OpRef:
+		op := callee.Op
+		if op.NumInputs >= 0 && op.NumInputs != len(n.Args) {
+			return nil, fmt.Errorf("%s expects %d inputs, got %d", op.Name, op.NumInputs, len(n.Args))
+		}
+		if op.Rel == nil {
+			return nil, fmt.Errorf("%s has no type relation", op.Name)
+		}
+		out, err := op.Rel(argTypes, n.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		callee.SetCheckedType(&ir.FuncType{Params: argTypes, Ret: out})
+		return out, nil
+
+	case *ir.CtorRef:
+		c := callee.Ctor
+		if len(argTypes) != len(c.Fields) {
+			return nil, fmt.Errorf("constructor %s expects %d fields, got %d", c.Name, len(c.Fields), len(argTypes))
+		}
+		for i := range argTypes {
+			if !assignable(argTypes[i], c.Fields[i]) {
+				return nil, fmt.Errorf("constructor %s field %d: %s not assignable to %s", c.Name, i, argTypes[i], c.Fields[i])
+			}
+		}
+		callee.SetCheckedType(&ir.FuncType{Params: c.Fields, Ret: c.Def.Type()})
+		return c.Def.Type(), nil
+
+	default:
+		calleeT, err := inf.infer(n.Callee, env)
+		if err != nil {
+			return nil, err
+		}
+		ft, ok := calleeT.(*ir.FuncType)
+		if !ok {
+			return nil, fmt.Errorf("calling non-function of type %s", calleeT)
+		}
+		if len(ft.Params) != len(argTypes) {
+			return nil, fmt.Errorf("call arity %d does not match %s", len(argTypes), ft)
+		}
+		for i := range argTypes {
+			if !assignable(argTypes[i], ft.Params[i]) {
+				return nil, fmt.Errorf("argument %d: %s not assignable to %s", i, argTypes[i], ft.Params[i])
+			}
+		}
+		if ft.Ret == nil {
+			return nil, fmt.Errorf("recursive call requires an annotated return type")
+		}
+		return ft.Ret, nil
+	}
+}
+
+func (inf *inferencer) inferMatch(n *ir.Match, env map[*ir.Var]ir.Type) (ir.Type, error) {
+	dataT, err := inf.infer(n.Data, env)
+	if err != nil {
+		return nil, err
+	}
+	adt, ok := dataT.(*ir.ADTType)
+	if !ok {
+		return nil, fmt.Errorf("match on non-ADT type %s", dataT)
+	}
+	if len(n.Clauses) == 0 {
+		return nil, fmt.Errorf("match with no clauses")
+	}
+	var result ir.Type
+	covered := map[int]bool{}
+	total := false
+	for _, c := range n.Clauses {
+		inner := make(map[*ir.Var]ir.Type, len(env)+2)
+		for k, v := range env {
+			inner[k] = v
+		}
+		if err := inf.bindPattern(c.Pattern, adt, inner, covered, &total); err != nil {
+			return nil, err
+		}
+		bt, err := inf.infer(c.Body, inner)
+		if err != nil {
+			return nil, err
+		}
+		if result == nil {
+			result = bt
+		} else {
+			result, err = join(result, bt)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !total && len(covered) < len(adt.Def.Constructors) {
+		return nil, fmt.Errorf("match on %s is not exhaustive: %d of %d constructors covered", adt.Def.Name, len(covered), len(adt.Def.Constructors))
+	}
+	return result, nil
+}
+
+func (inf *inferencer) bindPattern(p *ir.Pattern, t ir.Type, env map[*ir.Var]ir.Type, covered map[int]bool, total *bool) error {
+	switch p.Kind {
+	case ir.PatWildcard:
+		*total = true
+		return nil
+	case ir.PatVar:
+		*total = true
+		env[p.Var] = t
+		p.Var.SetCheckedType(t)
+		return nil
+	case ir.PatCtor:
+		adt, ok := t.(*ir.ADTType)
+		if !ok {
+			return fmt.Errorf("constructor pattern %s against non-ADT %s", p.Ctor.Name, t)
+		}
+		if p.Ctor.Def != adt.Def {
+			return fmt.Errorf("constructor %s does not belong to %s", p.Ctor.Name, adt.Def.Name)
+		}
+		if len(p.Sub) != len(p.Ctor.Fields) {
+			return fmt.Errorf("constructor %s has %d fields, pattern binds %d", p.Ctor.Name, len(p.Ctor.Fields), len(p.Sub))
+		}
+		covered[p.Ctor.Tag] = true
+		for i, sub := range p.Sub {
+			subTotal := false
+			if err := inf.bindPattern(sub, p.Ctor.Fields[i], env, map[int]bool{}, &subTotal); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown pattern kind %d", p.Kind)
+}

@@ -1,0 +1,293 @@
+package typeinfer
+
+import (
+	"strings"
+	"testing"
+
+	"nimble/internal/ir"
+	"nimble/internal/tensor"
+)
+
+const anyd = ir.DimAny
+
+func mustInfer(t *testing.T, fn *ir.Function) {
+	t.Helper()
+	if err := InferFunc(fn); err != nil {
+		t.Fatalf("InferFunc: %v", err)
+	}
+}
+
+func TestInferStaticDense(t *testing.T) {
+	x := ir.NewVar("x", ir.TT(tensor.Float32, 4, 300))
+	w := ir.NewVar("w", ir.TT(tensor.Float32, 300, 512))
+	fn := ir.NewFunc([]*ir.Var{x, w}, ir.CallOp("dense", x, w), nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(4, 512), float32]" {
+		t.Errorf("return = %s", got)
+	}
+	if fn.Body.CheckedType() == nil {
+		t.Error("checked type not attached")
+	}
+}
+
+func TestInferDynamicDensePropagatesSym(t *testing.T) {
+	// x: [Any, 300] — the Any gets a symbolic identity; dense must
+	// propagate it to the output row dimension so codegen can share the
+	// dispatch table with downstream kernels.
+	x := ir.NewVar("x", ir.TT(tensor.Float32, anyd, 300))
+	w := ir.NewVar("w", ir.TT(tensor.Float32, 300, 512))
+	b := ir.NewBuilder()
+	h := b.Op("dense", x, w)
+	out := b.Op("sigmoid", h)
+	fn := ir.NewFunc([]*ir.Var{x, w}, b.Finish(out), nil)
+	mustInfer(t, fn)
+	ret := fn.RetAnn.(*ir.TensorType)
+	if !ret.Dims[0].IsAny() || ret.Dims[0].Sym == 0 {
+		t.Errorf("symbolic identity lost: %s", fn.RetAnn)
+	}
+	xSym := x.TypeAnn.(*ir.TensorType).Dims[0].Sym
+	if ret.Dims[0].Sym != xSym {
+		t.Errorf("identity class changed: param %d, ret %d", xSym, ret.Dims[0].Sym)
+	}
+	rep := AnalyzeIdentity(fn)
+	if len(rep.SharedClasses()) == 0 {
+		t.Errorf("identity analysis found no shared class: %+v", rep.Classes)
+	}
+}
+
+func TestInferContaminationExample(t *testing.T) {
+	// The §4.1 example: arange yields (Any,), broadcast_add against (5, 1)
+	// yields (5, Any).
+	five := ir.NewVar("five", ir.TT(tensor.Float32, 5, 1))
+	b := ir.NewBuilder()
+	r := b.Op("arange", ir.ConstScalar(0), ir.ConstScalar(10), ir.ConstScalar(1))
+	out := b.Op("add", five, r)
+	fn := ir.NewFunc([]*ir.Var{five}, b.Finish(out), nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(5, Any), float32]" {
+		t.Errorf("return = %s", got)
+	}
+}
+
+func TestInferIfJoin(t *testing.T) {
+	// Branches with different static extents join to Any (sub-shape lattice
+	// least upper bound) — the typed form of a growing decoder loop.
+	x := ir.NewVar("x", ir.TT(tensor.Float32, 2, 4))
+	cond := ir.NewVar("c", ir.BoolType())
+	grow := ir.CallOpAttrs("concat", ir.Attrs{"axis": 0}, x, x) // (4, 4)
+	e := &ir.If{Cond: cond, Then: grow, Else: x}
+	fn := ir.NewFunc([]*ir.Var{x, cond}, e, nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(Any, 4), float32]" {
+		t.Errorf("join = %s", got)
+	}
+}
+
+func TestInferIfSameTypeStaysStatic(t *testing.T) {
+	x := ir.NewVar("x", ir.TT(tensor.Float32, 2, 4))
+	cond := ir.NewVar("c", ir.BoolType())
+	e := &ir.If{Cond: cond, Then: ir.CallOp("relu", x), Else: ir.CallOp("sigmoid", x)}
+	fn := ir.NewFunc([]*ir.Var{x, cond}, e, nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(2, 4), float32]" {
+		t.Errorf("same-type join = %s", got)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	f32 := tensor.Float32
+	x := ir.NewVar("x", ir.TT(f32, 3))
+	y := ir.NewVar("y", ir.TT(f32, 4))
+
+	cases := []struct {
+		name string
+		fn   *ir.Function
+		want string
+	}{
+		{
+			"static broadcast mismatch",
+			ir.NewFunc([]*ir.Var{x, y}, ir.CallOp("add", x, y), nil),
+			"broadcast",
+		},
+		{
+			"missing annotation",
+			ir.NewFunc([]*ir.Var{ir.NewVar("u", nil)}, ir.ConstScalar(1), nil),
+			"annotation",
+		},
+		{
+			"unbound variable",
+			ir.NewFunc([]*ir.Var{x}, ir.CallOp("relu", ir.NewVar("ghost", nil)), nil),
+			"unbound",
+		},
+		{
+			"non-scalar condition",
+			ir.NewFunc([]*ir.Var{x}, &ir.If{Cond: x, Then: x, Else: x}, nil),
+			"scalar",
+		},
+		{
+			"arity",
+			ir.NewFunc([]*ir.Var{x}, ir.CallOp("add", x), nil),
+			"inputs",
+		},
+		{
+			"return mismatch",
+			ir.NewFunc([]*ir.Var{x}, x, ir.TT(f32, 7)),
+			"not assignable",
+		},
+		{
+			"tuple index",
+			ir.NewFunc([]*ir.Var{x}, &ir.TupleGet{Tuple: &ir.Tuple{Fields: []ir.Expr{x}}, Index: 3}, nil),
+			"out of range",
+		},
+		{
+			"projection on non-tuple",
+			ir.NewFunc([]*ir.Var{x}, &ir.TupleGet{Tuple: x, Index: 0}, nil),
+			"non-tuple",
+		},
+	}
+	for _, c := range cases {
+		err := InferFunc(c.fn)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestInferGradualDeferral(t *testing.T) {
+	// (Any,) + (3,) type-checks: whether Any == 3 or Any == 1 holds is only
+	// knowable at runtime (gradual typing).
+	x := ir.NewVar("x", ir.TT(tensor.Float32, anyd))
+	y := ir.NewVar("y", ir.TT(tensor.Float32, 3))
+	fn := ir.NewFunc([]*ir.Var{x, y}, ir.CallOp("add", x, y), nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(3), float32]" {
+		t.Errorf("deferred broadcast = %s", got)
+	}
+}
+
+func TestInferLetAndTuple(t *testing.T) {
+	x := ir.NewVar("x", ir.TT(tensor.Float32, 2, 2))
+	b := ir.NewBuilder()
+	h := b.Op("relu", x)
+	pair := b.Bind("p", &ir.Tuple{Fields: []ir.Expr{h, x}})
+	out := &ir.TupleGet{Tuple: pair, Index: 0}
+	fn := ir.NewFunc([]*ir.Var{x}, b.Finish(out), nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(2, 2), float32]" {
+		t.Errorf("tuple projection = %s", got)
+	}
+}
+
+func TestInferModuleRecursion(t *testing.T) {
+	// A recursive function over an ADT — the Tree-LSTM shape. Signatures
+	// come from annotations, so recursion resolves.
+	f32 := tensor.Float32
+	leafT := ir.TT(f32, 1, 4)
+	leaf := ir.NewConstructor("Leaf", leafT)
+	node := ir.NewConstructor("Node", nil, nil) // fields set after typedef exists
+	td := ir.NewTypeDef("Tree", leaf, node)
+	node.Fields = []ir.Type{td.Type(), td.Type()}
+
+	m := ir.NewModule()
+	m.AddTypeDef(td)
+
+	tree := ir.NewVar("tree", td.Type())
+	l := ir.NewVar("l", nil)
+	r := ir.NewVar("r", nil)
+	v := ir.NewVar("v", nil)
+	sumTree := &ir.GlobalVar{Name: "sum_tree"}
+	body := &ir.Match{Data: tree, Clauses: []*ir.Clause{
+		{Pattern: ir.CtorPat(leaf, ir.VarPat(v)), Body: v},
+		{Pattern: ir.CtorPat(node, ir.VarPat(l), ir.VarPat(r)),
+			Body: ir.CallOp("add",
+				ir.NewCall(sumTree, []ir.Expr{l}, nil),
+				ir.NewCall(sumTree, []ir.Expr{r}, nil))},
+	}}
+	fn := ir.NewFunc([]*ir.Var{tree}, body, leafT)
+	m.AddFunc("sum_tree", fn)
+
+	main := ir.NewFunc([]*ir.Var{ir.NewVar("t", td.Type())},
+		ir.NewCall(&ir.GlobalVar{Name: "sum_tree"}, []ir.Expr{ir.NewVar("t", td.Type())}, nil), nil)
+	// Rebuild main so the param var is shared.
+	tv := ir.NewVar("t", td.Type())
+	main = ir.NewFunc([]*ir.Var{tv}, ir.NewCall(&ir.GlobalVar{Name: "sum_tree"}, []ir.Expr{tv}, nil), nil)
+	m.AddFunc("main", main)
+
+	if err := InferModule(m); err != nil {
+		t.Fatalf("InferModule: %v", err)
+	}
+	if got := main.RetAnn.String(); got != "Tensor[(1, 4), float32]" {
+		t.Errorf("main return = %s", got)
+	}
+}
+
+func TestInferMatchExhaustiveness(t *testing.T) {
+	f32 := tensor.Float32
+	leaf := ir.NewConstructor("Leaf", ir.TT(f32, 1))
+	node := ir.NewConstructor("Node", ir.TT(f32, 1))
+	td := ir.NewTypeDef("T2", leaf, node)
+	x := ir.NewVar("x", td.Type())
+	v := ir.NewVar("v", nil)
+	partial := &ir.Match{Data: x, Clauses: []*ir.Clause{
+		{Pattern: ir.CtorPat(leaf, ir.VarPat(v)), Body: v},
+	}}
+	err := InferFunc(ir.NewFunc([]*ir.Var{x}, partial, nil))
+	if err == nil || !strings.Contains(err.Error(), "exhaustive") {
+		t.Errorf("non-exhaustive match accepted: %v", err)
+	}
+	// Wildcard makes it total.
+	v2 := ir.NewVar("v2", nil)
+	total := &ir.Match{Data: x, Clauses: []*ir.Clause{
+		{Pattern: ir.CtorPat(leaf, ir.VarPat(v2)), Body: v2},
+		{Pattern: ir.WildcardPat(), Body: ir.Const(tensor.New(f32, 1))},
+	}}
+	if err := InferFunc(ir.NewFunc([]*ir.Var{x}, total, nil)); err != nil {
+		t.Errorf("total match rejected: %v", err)
+	}
+}
+
+func TestInferClosure(t *testing.T) {
+	f32 := tensor.Float32
+	x := ir.NewVar("x", ir.TT(f32, 2))
+	// let f = fn(y: T) { add(x, y) } in f(x)
+	y := ir.NewVar("y", ir.TT(f32, 2))
+	clos := ir.NewFunc([]*ir.Var{y}, ir.CallOp("add", x, y), nil)
+	f := ir.NewVar("f", nil)
+	body := ir.NewLet(f, clos, ir.NewCall(f, []ir.Expr{x}, nil))
+	fn := ir.NewFunc([]*ir.Var{x}, body, nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(2), float32]" {
+		t.Errorf("closure call = %s", got)
+	}
+	// Calling with a wrong arg type fails.
+	bad := ir.NewLet(f, clos, ir.NewCall(f, []ir.Expr{ir.Const(tensor.New(f32, 9))}, nil))
+	err := InferFunc(ir.NewFunc([]*ir.Var{x}, bad, nil))
+	if err == nil {
+		t.Error("closure arg mismatch accepted")
+	}
+}
+
+func TestInferConstant(t *testing.T) {
+	c := ir.Const(tensor.New(tensor.Int64, 3, 2))
+	fn := ir.NewFunc(nil, c, nil)
+	mustInfer(t, fn)
+	if got := fn.RetAnn.String(); got != "Tensor[(3, 2), int64]" {
+		t.Errorf("constant type = %s", got)
+	}
+}
+
+func TestIdentityReportOrdering(t *testing.T) {
+	rep := &IdentityReport{Classes: map[int]int{3: 1, 1: 5, 2: 2}}
+	got := rep.SymClasses()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("SymClasses = %v", got)
+	}
+	shared := rep.SharedClasses()
+	if len(shared) != 2 || shared[0] != 1 || shared[1] != 2 {
+		t.Errorf("SharedClasses = %v", shared)
+	}
+}

@@ -1,0 +1,175 @@
+// Package vm implements Nimble's virtual machine runtime (§5): a
+// register-based abstract machine with the paper's 20-instruction CISC-style
+// ISA (Appendix A, Table A.1), a tagged object model covering tensors,
+// storage, algebraic data types and closures, an executable format that
+// separates platform-independent bytecode from platform-dependent kernels,
+// and an interpreter whose dispatch loop invokes coarse-grained tensor
+// operations.
+package vm
+
+import "fmt"
+
+// Reg is a virtual register index. The compiler works with an infinite
+// register file per function activation ("we provide the abstraction of an
+// infinite set of virtual registers", §5.1).
+type Reg = int
+
+// Opcode enumerates the VM instruction set. The names and semantics follow
+// Table A.1 of the paper exactly; TestISAComplete pins the full set.
+type Opcode uint8
+
+const (
+	// OpMove moves data from one register to another.
+	OpMove Opcode = iota
+	// OpRet returns the object in the result register to the caller.
+	OpRet
+	// OpInvoke invokes a global function.
+	OpInvoke
+	// OpInvokeClosure invokes a closure.
+	OpInvokeClosure
+	// OpInvokePacked invokes an optimized operator kernel.
+	OpInvokePacked
+	// OpAllocStorage allocates a storage block on a specified device.
+	OpAllocStorage
+	// OpAllocTensor allocates a tensor with a static shape from a storage.
+	OpAllocTensor
+	// OpAllocTensorReg allocates a tensor given the shape in a register.
+	OpAllocTensorReg
+	// OpAllocADT allocates a data type using entries from registers.
+	OpAllocADT
+	// OpAllocClosure allocates a closure with a lowered VM function.
+	OpAllocClosure
+	// OpGetField gets the value at an index from a VM object.
+	OpGetField
+	// OpGetTag gets the tag of an ADT constructor.
+	OpGetTag
+	// OpIf jumps to the true or false offset depending on the condition.
+	OpIf
+	// OpGoto unconditionally jumps to an offset.
+	OpGoto
+	// OpLoadConst loads a constant at an index from the constant pool.
+	OpLoadConst
+	// OpLoadConsti loads a constant immediate.
+	OpLoadConsti
+	// OpDeviceCopy copies a chunk of data from one device to another.
+	OpDeviceCopy
+	// OpShapeOf retrieves the shape of a tensor.
+	OpShapeOf
+	// OpReshapeTensor assigns a new shape to a tensor without altering data.
+	OpReshapeTensor
+	// OpFatal raises a fatal error in the VM.
+	OpFatal
+
+	// NumOpcodes is the instruction count; the paper's ISA has exactly 20.
+	NumOpcodes = int(OpFatal) + 1
+)
+
+var opcodeNames = [NumOpcodes]string{
+	"Move", "Ret", "Invoke", "InvokeClosure", "InvokePacked",
+	"AllocStorage", "AllocTensor", "AllocTensorReg", "AllocADT",
+	"AllocClosure", "GetField", "GetTag", "If", "Goto",
+	"LoadConst", "LoadConsti", "DeviceCopy", "ShapeOf",
+	"ReshapeTensor", "Fatal",
+}
+
+func (o Opcode) String() string {
+	if int(o) < NumOpcodes {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Instruction is one decoded VM instruction: a traditional tagged union of
+// the op-code and its payload (§5.1). Fields are interpreted per opcode:
+//
+//	Move          Dst, A
+//	Ret           A
+//	Invoke        Dst, Imm=func index, Args=arguments
+//	InvokeClosure Dst, A=closure, Args=arguments
+//	InvokePacked  Dst, Imm=kernel index, B=#outputs (0: kernel allocates;
+//	              1: Args[len-1] is the destination buffer), Args=registers
+//	AllocStorage  Dst, Imm=size bytes (static) or A=shape register with
+//	              DType (dynamic), Device/DeviceID
+//	AllocTensor   Dst, A=storage, Imm=offset bytes, Shape, DType
+//	AllocTensorReg Dst, A=storage, B=shape register, DType
+//	AllocADT      Dst, Imm=tag, Args=fields
+//	AllocClosure  Dst, Imm=func index, Args=captured values
+//	GetField      Dst, A=object, Imm=field index
+//	GetTag        Dst, A=object
+//	If            A=test, B=target, Off1=true offset, Off2=false offset
+//	Goto          Off1
+//	LoadConst     Dst, Imm=constant pool index
+//	LoadConsti    Dst, Imm=integer immediate
+//	DeviceCopy    Dst, A=source, Device/DeviceID=destination,
+//	              Imm=source device encoded as srcType*1000+srcID
+//	ShapeOf       Dst, A=tensor
+//	ReshapeTensor Dst, A=tensor, B=shape tensor
+//	Fatal         (no operands)
+type Instruction struct {
+	Op   Opcode
+	Dst  Reg
+	A, B Reg
+	Imm  int64
+	// Off1 and Off2 are relative jump offsets (If: true/false; Goto: Off1).
+	Off1, Off2 int
+	// Args is the variadic register list; its presence makes the encoding
+	// variable-length (§5.1).
+	Args []Reg
+	// Shape is the static shape payload of AllocTensor.
+	Shape []int
+	// DType encodes a tensor.DType for allocation instructions.
+	DType uint8
+	// Device and DeviceID encode the target ir.Device.
+	Device   uint8
+	DeviceID int
+}
+
+// String renders a readable disassembly line.
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpMove:
+		return fmt.Sprintf("Move r%d, r%d", in.Dst, in.A)
+	case OpRet:
+		return fmt.Sprintf("Ret r%d", in.A)
+	case OpInvoke:
+		return fmt.Sprintf("Invoke r%d, fn#%d, %v", in.Dst, in.Imm, in.Args)
+	case OpInvokeClosure:
+		return fmt.Sprintf("InvokeClosure r%d, r%d, %v", in.Dst, in.A, in.Args)
+	case OpInvokePacked:
+		return fmt.Sprintf("InvokePacked r%d, kernel#%d, outs=%d, %v", in.Dst, in.Imm, in.B, in.Args)
+	case OpAllocStorage:
+		if in.A >= 0 {
+			return fmt.Sprintf("AllocStorage r%d, shape=r%d, dev=%d(%d)", in.Dst, in.A, in.Device, in.DeviceID)
+		}
+		return fmt.Sprintf("AllocStorage r%d, size=%d, dev=%d(%d)", in.Dst, in.Imm, in.Device, in.DeviceID)
+	case OpAllocTensor:
+		return fmt.Sprintf("AllocTensor r%d, storage=r%d, shape=%v, off=%d", in.Dst, in.A, in.Shape, in.Imm)
+	case OpAllocTensorReg:
+		return fmt.Sprintf("AllocTensorReg r%d, storage=r%d, shape=r%d", in.Dst, in.A, in.B)
+	case OpAllocADT:
+		return fmt.Sprintf("AllocADT r%d, tag=%d, %v", in.Dst, in.Imm, in.Args)
+	case OpAllocClosure:
+		return fmt.Sprintf("AllocClosure r%d, fn#%d, %v", in.Dst, in.Imm, in.Args)
+	case OpGetField:
+		return fmt.Sprintf("GetField r%d, r%d, %d", in.Dst, in.A, in.Imm)
+	case OpGetTag:
+		return fmt.Sprintf("GetTag r%d, r%d", in.Dst, in.A)
+	case OpIf:
+		return fmt.Sprintf("If r%d==r%d ? %+d : %+d", in.A, in.B, in.Off1, in.Off2)
+	case OpGoto:
+		return fmt.Sprintf("Goto %+d", in.Off1)
+	case OpLoadConst:
+		return fmt.Sprintf("LoadConst r%d, const#%d", in.Dst, in.Imm)
+	case OpLoadConsti:
+		return fmt.Sprintf("LoadConsti r%d, %d", in.Dst, in.Imm)
+	case OpDeviceCopy:
+		return fmt.Sprintf("DeviceCopy r%d, r%d, dev=%d(%d)", in.Dst, in.A, in.Device, in.DeviceID)
+	case OpShapeOf:
+		return fmt.Sprintf("ShapeOf r%d, r%d", in.Dst, in.A)
+	case OpReshapeTensor:
+		return fmt.Sprintf("ReshapeTensor r%d, r%d, shape=r%d", in.Dst, in.A, in.B)
+	case OpFatal:
+		return "Fatal"
+	}
+	return fmt.Sprintf("%s ???", in.Op)
+}

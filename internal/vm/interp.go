@@ -1,0 +1,517 @@
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"nimble/internal/ir"
+	"nimble/internal/tensor"
+)
+
+// VM is an interpreter instance over a loaded executable. "When execution
+// begins, the interpreter runs a dispatch loop which checks the op-code and
+// executes the appropriate logic, then repeats" (§5.2). A VM is not safe for
+// concurrent use; create one per goroutine (they share the executable).
+type VM struct {
+	exe  *Executable
+	prof *Profiler
+	pool *storagePool
+	// maxDepth bounds recursion to catch runaway programs.
+	maxDepth int
+}
+
+// New creates a VM over exe with the runtime storage pool enabled.
+func New(exe *Executable) *VM {
+	return &VM{exe: exe, pool: newStoragePool(), maxDepth: 1 << 20}
+}
+
+// SetProfiler attaches (or detaches, with nil) a profiler.
+func (vm *VM) SetProfiler(p *Profiler) { vm.prof = p }
+
+// DisablePool turns off runtime storage reuse (for the memory-planning
+// ablation: every AllocStorage then hits the Go allocator).
+func (vm *VM) DisablePool() { vm.pool = nil }
+
+// Invoke runs the named function on args and returns its result.
+func (vm *VM) Invoke(name string, args ...Object) (Object, error) {
+	idx, err := vm.exe.EntryFunc(name)
+	if err != nil {
+		return nil, err
+	}
+	return vm.run(idx, args)
+}
+
+// InvokeTensors is a convenience wrapper: tensors in, tensor out.
+func (vm *VM) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+	objs := make([]Object, len(args))
+	for i, a := range args {
+		objs[i] = NewTensorObj(a)
+	}
+	out, err := vm.Invoke(name, objs...)
+	if err != nil {
+		return nil, err
+	}
+	to, err := asTensor(out)
+	if err != nil {
+		return nil, err
+	}
+	return to.T, nil
+}
+
+type frame struct {
+	fn   int
+	regs []Object
+	pc   int
+	// dst is the caller register receiving this frame's return value.
+	dst Reg
+}
+
+func (vm *VM) newFrame(fnIdx int, args []Object) (*frame, error) {
+	fn := vm.exe.Funcs[fnIdx]
+	if len(args) != fn.NumParams {
+		return nil, fmt.Errorf("vm: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
+	}
+	regs := make([]Object, fn.RegCount)
+	copy(regs, args)
+	return &frame{fn: fnIdx, regs: regs, pc: fn.Start}, nil
+}
+
+// run executes the dispatch loop starting from fnIdx.
+func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
+	f, err := vm.newFrame(fnIdx, args)
+	if err != nil {
+		return nil, err
+	}
+	stack := []*frame{f}
+	code := vm.exe.Code
+	prof := vm.prof
+
+	for {
+		fr := stack[len(stack)-1]
+		if fr.pc < 0 || fr.pc >= len(code) {
+			return nil, fmt.Errorf("vm: pc %d out of range in %s", fr.pc, vm.exe.Funcs[fr.fn].Name)
+		}
+		in := code[fr.pc]
+		if prof != nil {
+			prof.Counts[in.Op]++
+		}
+		var tStart time.Time
+		if prof != nil && prof.Timing && in.Op != OpInvokePacked {
+			tStart = time.Now()
+		}
+
+		switch in.Op {
+		case OpMove:
+			fr.regs[in.Dst] = fr.regs[in.A]
+			fr.pc++
+
+		case OpRet:
+			ret := fr.regs[in.A]
+			stack = stack[:len(stack)-1]
+			// "Objects are reference counted ... kill(tensor) frees a tensor
+			// before its reference count becomes zero due to exiting the
+			// frame" (§4.3, §5.2): at frame exit, every storage that does
+			// not back the escaping return value goes back to the pool.
+			vm.releaseFrame(fr, ret)
+			if len(stack) == 0 {
+				if prof != nil && prof.Timing {
+					prof.OtherTime += time.Since(tStart)
+				}
+				return ret, nil
+			}
+			caller := stack[len(stack)-1]
+			caller.regs[fr.dst] = ret
+			// caller.pc already advanced past its Invoke.
+
+		case OpInvoke:
+			if len(stack) >= vm.maxDepth {
+				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
+			}
+			callArgs := make([]Object, len(in.Args))
+			for i, r := range in.Args {
+				callArgs[i] = fr.regs[r]
+			}
+			nf, err := vm.newFrame(int(in.Imm), callArgs)
+			if err != nil {
+				return nil, err
+			}
+			nf.dst = in.Dst
+			fr.pc++
+			stack = append(stack, nf)
+
+		case OpInvokeClosure:
+			if len(stack) >= vm.maxDepth {
+				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
+			}
+			clo, ok := fr.regs[in.A].(*Closure)
+			if !ok {
+				return nil, fmt.Errorf("vm: InvokeClosure on %T", fr.regs[in.A])
+			}
+			callArgs := make([]Object, 0, len(clo.Free)+len(in.Args))
+			callArgs = append(callArgs, clo.Free...)
+			for _, r := range in.Args {
+				callArgs = append(callArgs, fr.regs[r])
+			}
+			nf, err := vm.newFrame(clo.Fn, callArgs)
+			if err != nil {
+				return nil, err
+			}
+			nf.dst = in.Dst
+			fr.pc++
+			stack = append(stack, nf)
+
+		case OpInvokePacked:
+			if err := vm.execPacked(fr, in); err != nil {
+				return nil, err
+			}
+			fr.pc++
+
+		case OpAllocStorage:
+			if err := vm.execAllocStorage(fr, in); err != nil {
+				return nil, err
+			}
+			fr.pc++
+
+		case OpAllocTensor:
+			st, err := asStorage(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			t, err := st.tensorAt(tensor.DType(in.DType), tensor.Shape(in.Shape), int(in.Imm))
+			if err != nil {
+				return nil, err
+			}
+			fr.regs[in.Dst] = &TensorObj{T: t, Device: st.Device, Backing: st}
+			fr.pc++
+
+		case OpAllocTensorReg:
+			st, err := asStorage(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			shObj, err := asTensor(fr.regs[in.B])
+			if err != nil {
+				return nil, err
+			}
+			shape, err := shObj.T.ToShape()
+			if err != nil {
+				return nil, err
+			}
+			t, err := st.tensorAt(tensor.DType(in.DType), shape, 0)
+			if err != nil {
+				return nil, err
+			}
+			fr.regs[in.Dst] = &TensorObj{T: t, Device: st.Device, Backing: st}
+			fr.pc++
+
+		case OpAllocADT:
+			fields := make([]Object, len(in.Args))
+			for i, r := range in.Args {
+				fields[i] = fr.regs[r]
+			}
+			fr.regs[in.Dst] = &ADT{Tag: int(in.Imm), Fields: fields}
+			fr.pc++
+
+		case OpAllocClosure:
+			free := make([]Object, len(in.Args))
+			for i, r := range in.Args {
+				free[i] = fr.regs[r]
+			}
+			fr.regs[in.Dst] = &Closure{Fn: int(in.Imm), Free: free}
+			fr.pc++
+
+		case OpGetField:
+			adt, err := asADT(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			if int(in.Imm) < 0 || int(in.Imm) >= len(adt.Fields) {
+				return nil, fmt.Errorf("vm: GetField index %d out of range (%d fields)", in.Imm, len(adt.Fields))
+			}
+			fr.regs[in.Dst] = adt.Fields[in.Imm]
+			fr.pc++
+
+		case OpGetTag:
+			adt, err := asADT(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			fr.regs[in.Dst] = NewTensorObj(tensor.ScalarI64(int64(adt.Tag)))
+			fr.pc++
+
+		case OpIf:
+			eq, err := scalarEqual(fr.regs[in.A], fr.regs[in.B])
+			if err != nil {
+				return nil, err
+			}
+			if eq {
+				fr.pc += in.Off1
+			} else {
+				fr.pc += in.Off2
+			}
+
+		case OpGoto:
+			fr.pc += in.Off1
+
+		case OpLoadConst:
+			if int(in.Imm) < 0 || int(in.Imm) >= len(vm.exe.Consts) {
+				return nil, fmt.Errorf("vm: constant index %d out of range", in.Imm)
+			}
+			// Constants are shared by reference; kernels never mutate their
+			// inputs, which is the copy-on-write discipline of §5.2.
+			fr.regs[in.Dst] = &TensorObj{T: vm.exe.Consts[in.Imm], Device: ir.CPU(0)}
+			fr.pc++
+
+		case OpLoadConsti:
+			fr.regs[in.Dst] = NewTensorObj(tensor.ScalarI64(in.Imm))
+			fr.pc++
+
+		case OpDeviceCopy:
+			src, err := asTensor(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			dst := ir.Device{Type: ir.DeviceType(in.Device), ID: in.DeviceID}
+			// On the host substrate a cross-device copy is a clone into the
+			// destination domain; the platform simulator charges transfer
+			// cost by CopyBytes.
+			fr.regs[in.Dst] = &TensorObj{T: src.T.Clone(), Device: dst}
+			if prof != nil {
+				prof.CopyBytes += int64(src.T.NumBytes())
+			}
+			fr.pc++
+
+		case OpShapeOf:
+			t, err := asTensor(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			// shape_of reads metadata only, so it works "regardless of which
+			// device [the tensor] is placed on" (§4.4) and its result lives
+			// on the CPU.
+			fr.regs[in.Dst] = NewTensorObj(tensor.ShapeTensor(t.T.Shape()))
+			fr.pc++
+
+		case OpReshapeTensor:
+			t, err := asTensor(fr.regs[in.A])
+			if err != nil {
+				return nil, err
+			}
+			shObj, err := asTensor(fr.regs[in.B])
+			if err != nil {
+				return nil, err
+			}
+			shape, err := shObj.T.ToShape()
+			if err != nil {
+				return nil, err
+			}
+			rt, err := t.T.Reshape(shape...)
+			if err != nil {
+				return nil, err
+			}
+			fr.regs[in.Dst] = &TensorObj{T: rt, Device: t.Device}
+			fr.pc++
+
+		case OpFatal:
+			return nil, fmt.Errorf("vm: Fatal raised in %s at pc %d", vm.exe.Funcs[fr.fn].Name, fr.pc)
+
+		default:
+			return nil, fmt.Errorf("vm: unknown opcode %d", in.Op)
+		}
+
+		if prof != nil && prof.Timing && in.Op != OpInvokePacked {
+			prof.OtherTime += time.Since(tStart)
+		}
+	}
+}
+
+func (vm *VM) execPacked(fr *frame, in Instruction) error {
+	kernel, err := vm.exe.Kernel(int(in.Imm))
+	if err != nil {
+		return err
+	}
+	hasOut := in.B == 1
+	nIn := len(in.Args)
+	if hasOut {
+		nIn--
+	}
+	args := make([]*tensor.Tensor, nIn)
+	for i := 0; i < nIn; i++ {
+		t, err := asTensor(fr.regs[in.Args[i]])
+		if err != nil {
+			return fmt.Errorf("vm: kernel %s arg %d: %w", vm.exe.KernelNames[in.Imm], i, err)
+		}
+		args[i] = t.T
+	}
+	var out *tensor.Tensor
+	dev := ir.CPU(0)
+	if hasOut {
+		to, err := asTensor(fr.regs[in.Args[nIn]])
+		if err != nil {
+			return fmt.Errorf("vm: kernel %s out buffer: %w", vm.exe.KernelNames[in.Imm], err)
+		}
+		out = to.T
+		dev = to.Device
+	}
+	var start time.Time
+	timing := vm.prof != nil && vm.prof.Timing
+	if timing {
+		start = time.Now()
+	}
+	res, err := kernel(args, out)
+	if err != nil {
+		return fmt.Errorf("vm: kernel %s: %w", vm.exe.KernelNames[in.Imm], err)
+	}
+	if timing {
+		d := time.Since(start)
+		vm.prof.KernelTime += d
+		vm.prof.KernelTimes[vm.exe.KernelNames[in.Imm]] += d
+	}
+	if vm.prof != nil && vm.prof.Timing {
+		// Per-kernel name counts ride along with timing; the cheap
+		// counts-only mode uses Counts[OpInvokePacked] instead.
+		vm.prof.KernelCounts[vm.exe.KernelNames[in.Imm]]++
+	}
+	var backing *Storage
+	if hasOut {
+		if to, ok := fr.regs[in.Args[nIn]].(*TensorObj); ok {
+			backing = to.Backing
+		}
+	}
+	fr.regs[in.Dst] = &TensorObj{T: res, Device: dev, Backing: backing}
+	return nil
+}
+
+// releaseFrame returns every storage in the frame's registers to the pool
+// unless it backs (part of) the escaping return value.
+func (vm *VM) releaseFrame(fr *frame, ret Object) {
+	if vm.pool == nil {
+		return
+	}
+	keep := map[*Storage]bool{}
+	collectStorages(ret, keep)
+	for _, o := range fr.regs {
+		switch v := o.(type) {
+		case *Storage:
+			if !keep[v] {
+				vm.pool.release(v)
+				keep[v] = true // avoid double release via aliased registers
+			}
+		}
+	}
+}
+
+// collectStorages walks an object graph recording every storage that backs
+// reachable tensor data.
+func collectStorages(o Object, set map[*Storage]bool) {
+	switch v := o.(type) {
+	case *TensorObj:
+		if v.Backing != nil {
+			set[v.Backing] = true
+		}
+	case *Storage:
+		set[v] = true
+	case *ADT:
+		for _, f := range v.Fields {
+			collectStorages(f, set)
+		}
+	case *Closure:
+		for _, f := range v.Free {
+			collectStorages(f, set)
+		}
+	}
+}
+
+func (vm *VM) execAllocStorage(fr *frame, in Instruction) error {
+	size := int(in.Imm)
+	if in.A >= 0 {
+		// Dynamic size: the register holds the output shape computed by a
+		// shape function; the element size comes from the dtype payload.
+		shObj, err := asTensor(fr.regs[in.A])
+		if err != nil {
+			return err
+		}
+		shape, err := shObj.T.ToShape()
+		if err != nil {
+			return err
+		}
+		size = shape.NumElements() * tensor.DType(in.DType).Size()
+	}
+	dev := ir.Device{Type: ir.DeviceType(in.Device), ID: in.DeviceID}
+	if dev.IsUnknown() {
+		dev = ir.CPU(0)
+	}
+	var st *Storage
+	reused := false
+	if vm.pool != nil {
+		st, reused = vm.pool.acquire(size, dev)
+	}
+	if st == nil {
+		st = &Storage{SizeBytes: size, Device: dev}
+	}
+	if vm.prof != nil {
+		vm.prof.AllocBytes += int64(size)
+		if reused {
+			vm.prof.AllocReuses++
+		} else {
+			vm.prof.AllocFresh++
+		}
+	}
+	fr.regs[in.Dst] = st
+	return nil
+}
+
+// storagePool is the runtime free list that serves dynamic allocations whose
+// sizes are unknown at compile time: storages are binned by power-of-two
+// size class and handed back out on later requests, cutting both allocation
+// count and latency (§6.3).
+type storagePool struct {
+	classes map[int][]*Storage
+}
+
+func newStoragePool() *storagePool { return &storagePool{classes: map[int][]*Storage{}} }
+
+func sizeClass(size int) int {
+	if size <= 0 {
+		return 0
+	}
+	return bits.Len(uint(size - 1)) // ceil(log2(size))
+}
+
+// acquire returns a pooled storage of at least `size` bytes on dev, growing
+// the request to its size class so later requests in the same class hit.
+func (p *storagePool) acquire(size int, dev ir.Device) (*Storage, bool) {
+	cls := sizeClass(size)
+	list := p.classes[cls]
+	for i, st := range list {
+		if st.Device == dev {
+			p.classes[cls] = append(list[:i], list[i+1:]...)
+			return st, true
+		}
+	}
+	// Allocate at the class ceiling so the storage is maximally reusable.
+	return &Storage{SizeBytes: 1 << cls, Device: dev}, false
+}
+
+// release returns a storage to the pool; the VM calls it when a kill
+// instruction (lowered to storage release) frees a buffer.
+func (p *storagePool) release(st *Storage) {
+	cls := sizeClass(st.SizeBytes)
+	if len(p.classes[cls]) < 64 { // bound pool growth
+		p.classes[cls] = append(p.classes[cls], st)
+	}
+}
+
+// ReleaseStorage returns a storage object to the VM's pool. The compiler
+// lowers memory.kill to a Move of the storage into a dead register followed
+// by this runtime hook via a packed call; exposing it directly keeps the
+// instruction count at the paper's 20.
+func (vm *VM) ReleaseStorage(o Object) {
+	if vm.pool == nil {
+		return
+	}
+	if st, ok := o.(*Storage); ok {
+		vm.pool.release(st)
+	}
+}

@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// InstrCategory groups opcodes the way §5.2 describes the interpreter's
+// instruction classes.
+type InstrCategory int
+
+const (
+	// CatRegister covers register-to-register operations (Move, LoadConst*).
+	CatRegister InstrCategory = iota
+	// CatMemory covers allocation instructions.
+	CatMemory
+	// CatCall covers Invoke/InvokeClosure/InvokePacked/DeviceCopy/ShapeOf/
+	// ReshapeTensor — "the most frequently executed instructions".
+	CatCall
+	// CatControl covers Ret/If/Goto and ADT inspection.
+	CatControl
+)
+
+func (c InstrCategory) String() string {
+	switch c {
+	case CatRegister:
+		return "register"
+	case CatMemory:
+		return "memory"
+	case CatCall:
+		return "call"
+	case CatControl:
+		return "control"
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// CategoryOf classifies an opcode.
+func CategoryOf(op Opcode) InstrCategory {
+	switch op {
+	case OpMove, OpLoadConst, OpLoadConsti:
+		return CatRegister
+	case OpAllocStorage, OpAllocTensor, OpAllocTensorReg, OpAllocADT, OpAllocClosure:
+		return CatMemory
+	case OpInvoke, OpInvokeClosure, OpInvokePacked, OpDeviceCopy, OpShapeOf, OpReshapeTensor:
+		return CatCall
+	default:
+		return CatControl
+	}
+}
+
+// Profiler accumulates per-opcode execution counts and, when timing is
+// enabled, the wall time spent in kernel invocations versus all other
+// instructions — the split Table 4 reports ("kernel latency" vs "others").
+type Profiler struct {
+	// Counts holds executed-instruction counts per opcode.
+	Counts [NumOpcodes]int64
+	// KernelTime is the cumulative time inside InvokePacked kernels.
+	KernelTime time.Duration
+	// OtherTime is the cumulative time in every other instruction.
+	OtherTime time.Duration
+	// KernelCounts tracks invocations per kernel name.
+	KernelCounts map[string]int64
+	// KernelTimes tracks cumulative time per kernel name.
+	KernelTimes map[string]time.Duration
+	// AllocBytes sums bytes requested from AllocStorage.
+	AllocBytes int64
+	// AllocReuses counts storage requests served by the runtime pool.
+	AllocReuses int64
+	// AllocFresh counts storage requests that hit the Go allocator.
+	AllocFresh int64
+	// CopyBytes sums bytes moved by DeviceCopy.
+	CopyBytes int64
+	// Timing enables wall-clock measurement (counts are always kept).
+	Timing bool
+}
+
+// NewProfiler creates a profiler with timing enabled.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		KernelCounts: map[string]int64{},
+		KernelTimes:  map[string]time.Duration{},
+		Timing:       true,
+	}
+}
+
+// Reset zeroes all accumulators.
+func (p *Profiler) Reset() {
+	*p = Profiler{
+		KernelCounts: map[string]int64{},
+		KernelTimes:  map[string]time.Duration{},
+		Timing:       p.Timing,
+	}
+}
+
+// TotalInstrs returns the number of executed instructions.
+func (p *Profiler) TotalInstrs() int64 {
+	var n int64
+	for _, c := range p.Counts {
+		n += c
+	}
+	return n
+}
+
+// CategoryCounts aggregates counts by instruction category.
+func (p *Profiler) CategoryCounts() map[InstrCategory]int64 {
+	out := map[InstrCategory]int64{}
+	for op, c := range p.Counts {
+		out[CategoryOf(Opcode(op))] += c
+	}
+	return out
+}
+
+// Summary renders a human-readable profile report.
+func (p *Profiler) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions: %d (kernel time %v, other time %v)\n",
+		p.TotalInstrs(), p.KernelTime, p.OtherTime)
+	type row struct {
+		name  string
+		count int64
+	}
+	var rows []row
+	for op, c := range p.Counts {
+		if c > 0 {
+			rows = append(rows, row{Opcode(op).String(), c})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %d\n", r.name, r.count)
+	}
+	if len(p.KernelCounts) > 0 {
+		b.WriteString("kernels:\n")
+		names := make([]string, 0, len(p.KernelCounts))
+		for n := range p.KernelCounts {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return p.KernelTimes[names[i]] > p.KernelTimes[names[j]] })
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-40s %6d calls  %v\n", n, p.KernelCounts[n], p.KernelTimes[n])
+		}
+	}
+	fmt.Fprintf(&b, "alloc: %d bytes, %d fresh, %d pooled; copies: %d bytes\n",
+		p.AllocBytes, p.AllocFresh, p.AllocReuses, p.CopyBytes)
+	return b.String()
+}
