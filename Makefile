@@ -1,0 +1,36 @@
+# Build / verify entry points for the Nimble reproduction.
+#
+#   make            - build + vet + test (the tier-1 gate)
+#   make bench      - quick one-shot pass over every paper benchmark
+#   make bench-full - the full harness via cmd/nimble-bench
+#   make ci         - what the GitHub Actions workflow runs
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-full ci
+
+all: build vet test
+
+# Race-detect the packages that shard work onto the worker pool.
+race:
+	$(GO) test -race ./internal/runtime ./internal/kernels ./internal/vm
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Smoke pass: every benchmark once, with allocation counters — catches
+# harness rot without paying for full measurement runs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# Full-scale numbers for EXPERIMENTS.md.
+bench-full:
+	$(GO) run ./cmd/nimble-bench
+
+ci: all race bench

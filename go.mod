@@ -1,0 +1,3 @@
+module nimble
+
+go 1.24

@@ -122,15 +122,23 @@ func ForShapeFunc(op *ir.Op, attrs ir.Attrs) (Kernel, error) {
 	return Kernel{Name: name, Fn: packed}, nil
 }
 
-// genericKernel wraps an operator's Eval in the destination-passing packed
-// convention: the result is copied into the planned buffer when shapes
-// match; upper-bound operators, whose precise result is smaller than the
-// planned upper bound, return their precisely shaped tensor directly (§4.2:
-// "use the real shape to slice the output tensors into precise output
-// shape").
+// genericKernel wraps an operator in the destination-passing packed
+// convention. Operators providing EvalInto write the planned buffer
+// directly — the fast path that makes §4.3 memory planning pay: no per-op
+// allocation and no result copy. Operators without it fall back to Eval
+// plus a copy into the plan when shapes match; upper-bound operators, whose
+// precise result is smaller than the planned upper bound, return their
+// precisely shaped tensor directly (§4.2: "use the real shape to slice the
+// output tensors into precise output shape").
 func genericKernel(op *ir.Op, attrs ir.Attrs) Kernel {
 	name := op.Name + attrsSuffix(attrs)
 	eval := op.Eval
+	if evalInto := op.EvalInto; evalInto != nil {
+		packed := func(args []*tensor.Tensor, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return evalInto(args, attrs, out)
+		}
+		return Kernel{Name: name, Fn: packed}
+	}
 	packed := func(args []*tensor.Tensor, out *tensor.Tensor) (*tensor.Tensor, error) {
 		res, err := eval(args, attrs)
 		if err != nil {
@@ -187,9 +195,9 @@ func symbolicDense(opts Options) Kernel {
 			out = tensor.New(tensor.Float32, m, b.Shape()[1])
 		}
 		if lib > 0 && m >= lib {
-			res := kernels.MatMulParallel(a, b, workers)
-			copyInto(out, res)
-			return out, nil
+			// The library kernel writes the planned buffer directly; the
+			// persistent pool shards rows without spawning goroutines.
+			return kernels.MatMulParallelInto(a, b, out, workers), nil
 		}
 		table.Invoke(a, b, out)
 		return out, nil

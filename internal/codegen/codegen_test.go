@@ -8,6 +8,7 @@ import (
 	"nimble/internal/ir"
 	"nimble/internal/kernels"
 	"nimble/internal/tensor"
+	"nimble/internal/vm"
 )
 
 func TestOptionsNormalize(t *testing.T) {
@@ -51,6 +52,46 @@ func TestGenericKernelCopiesIntoPlannedBuffer(t *testing.T) {
 	res, err = k.Fn([]*tensor.Tensor{a, b}, nil)
 	if err != nil || res == nil {
 		t.Fatalf("nil-out path: %v", err)
+	}
+}
+
+// TestPackedKernelZeroAllocWithPlannedBuffer pins the tentpole property at
+// the dispatch-convention level: a generated kernel handed a planned
+// destination of the right shape performs zero heap allocations — no result
+// tensor, no copy. This is what turns §4.3's compile-time memory planning
+// into a runtime win.
+func TestPackedKernelZeroAllocWithPlannedBuffer(t *testing.T) {
+	mk := func(name string) vm.PackedFunc {
+		k, err := ForOp(ir.MustGetOp(name), nil, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.Fn
+	}
+	a := tensor.New(tensor.Float32, 13, 24)
+	b := tensor.New(tensor.Float32, 13, 24)
+	w := tensor.New(tensor.Float32, 24, 16)
+	a.Fill(0.5)
+	b.Fill(0.25)
+	w.Fill(0.1)
+	cases := []struct {
+		name string
+		args []*tensor.Tensor
+		out  *tensor.Tensor
+	}{
+		{"add", []*tensor.Tensor{a, b}, tensor.New(tensor.Float32, 13, 24)},
+		{"sigmoid", []*tensor.Tensor{a}, tensor.New(tensor.Float32, 13, 24)},
+		{"dense", []*tensor.Tensor{a, w}, tensor.New(tensor.Float32, 13, 16)},
+	}
+	for _, c := range cases {
+		fn := mk(c.name)
+		if n := testing.AllocsPerRun(100, func() {
+			if _, err := fn(c.args, c.out); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("packed %s: %v allocs/op with planned buffer, want 0", c.name, n)
+		}
 	}
 }
 

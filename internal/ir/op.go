@@ -155,6 +155,15 @@ type ShapeFunc struct {
 // semantic ground truth; codegen wraps and specializes these.
 type EvalFunc func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error)
 
+// EvalIntoFunc is the destination-passing form of EvalFunc: when out is a
+// usable destination (matching dtype and precise result shape — the buffer
+// the §4.3 memory planner allocated ahead of time), the kernel writes its
+// result there and returns out; otherwise (out nil, or an upper-bound plan
+// larger than the precise shape) it allocates like EvalFunc. Codegen prefers
+// this path so planned executions pay neither a per-op allocation nor the
+// result copy genericKernel's fallback needs.
+type EvalIntoFunc func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error)
+
 // TypeRel is an operator type relation (§4.1): it computes the output type
 // from input types, propagating Any per the operator's rules, or reports a
 // compile-time type error. Relations must relax (not reject) constraints
@@ -164,11 +173,15 @@ type TypeRel func(args []Type, attrs Attrs) (Type, error)
 
 // Op is a registered primitive operator.
 type Op struct {
-	Name    string
-	Rel     TypeRel
-	Shape   ShapeFunc
-	Eval    EvalFunc
-	Pattern OpPattern
+	Name  string
+	Rel   TypeRel
+	Shape ShapeFunc
+	Eval  EvalFunc
+	// EvalInto, when non-nil, is the operator's destination-passing fast
+	// path; hot operator families (element-wise, reductions, dense, conv)
+	// provide it so planned buffers are written directly.
+	EvalInto EvalIntoFunc
+	Pattern  OpPattern
 	// NumInputs < 0 means variadic.
 	NumInputs int
 }

@@ -123,12 +123,30 @@ func binaryEval(k func(a, b *tensor.Tensor) *tensor.Tensor) EvalFunc {
 	}
 }
 
+func binaryEvalInto(k func(a, b, out *tensor.Tensor) *tensor.Tensor) EvalIntoFunc {
+	return func(args []*tensor.Tensor, _ Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("ir: binary op requires 2 args, got %d", len(args))
+		}
+		return k(args[0], args[1], out), nil
+	}
+}
+
 func unaryEval(k func(a *tensor.Tensor) *tensor.Tensor) EvalFunc {
 	return func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
 		if len(args) != 1 {
 			return nil, fmt.Errorf("ir: unary op requires 1 arg, got %d", len(args))
 		}
 		return k(args[0]), nil
+	}
+}
+
+func unaryEvalInto(k func(a, out *tensor.Tensor) *tensor.Tensor) EvalIntoFunc {
+	return func(args []*tensor.Tensor, _ Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ir: unary op requires 1 arg, got %d", len(args))
+		}
+		return k(args[0], out), nil
 	}
 }
 
@@ -142,44 +160,46 @@ func compareRel(args []Type, attrs Attrs) (Type, error) {
 	return &TensorType{Dims: tt.Dims, DType: tensor.Bool}, nil
 }
 
-func registerBroadcastOp(name string, k func(a, b *tensor.Tensor) *tensor.Tensor) {
+func registerBroadcastOp(name string, k func(a, b *tensor.Tensor) *tensor.Tensor, kInto func(a, b, out *tensor.Tensor) *tensor.Tensor) {
 	RegisterOp(&Op{
 		Name:      name,
 		Rel:       BroadcastRel,
 		Shape:     broadcastShapeFunc,
 		Eval:      binaryEval(k),
+		EvalInto:  binaryEvalInto(kInto),
 		Pattern:   PatternBroadcast,
 		NumInputs: 2,
 	})
 }
 
-func registerUnaryOp(name string, k func(a *tensor.Tensor) *tensor.Tensor) {
+func registerUnaryOp(name string, k func(a *tensor.Tensor) *tensor.Tensor, kInto func(a, out *tensor.Tensor) *tensor.Tensor) {
 	RegisterOp(&Op{
 		Name:      name,
 		Rel:       identityRel,
 		Shape:     identityShapeFunc,
 		Eval:      unaryEval(k),
+		EvalInto:  unaryEvalInto(kInto),
 		Pattern:   PatternElemWise,
 		NumInputs: 1,
 	})
 }
 
 func init() {
-	registerBroadcastOp("add", kernels.Add)
-	registerBroadcastOp("subtract", kernels.Sub)
-	registerBroadcastOp("multiply", kernels.Mul)
-	registerBroadcastOp("divide", kernels.Div)
-	registerBroadcastOp("maximum", kernels.Maximum)
-	registerBroadcastOp("minimum", kernels.Minimum)
-	registerBroadcastOp("power", kernels.Power)
+	registerBroadcastOp("add", kernels.Add, kernels.AddInto)
+	registerBroadcastOp("subtract", kernels.Sub, kernels.SubInto)
+	registerBroadcastOp("multiply", kernels.Mul, kernels.MulInto)
+	registerBroadcastOp("divide", kernels.Div, kernels.DivInto)
+	registerBroadcastOp("maximum", kernels.Maximum, kernels.MaximumInto)
+	registerBroadcastOp("minimum", kernels.Minimum, kernels.MinimumInto)
+	registerBroadcastOp("power", kernels.Power, kernels.PowerInto)
 
-	registerUnaryOp("negative", kernels.Neg)
-	registerUnaryOp("exp", kernels.Exp)
-	registerUnaryOp("sqrt", kernels.Sqrt)
-	registerUnaryOp("sigmoid", kernels.Sigmoid)
-	registerUnaryOp("tanh", kernels.Tanh)
-	registerUnaryOp("relu", kernels.Relu)
-	registerUnaryOp("gelu", kernels.Gelu)
+	registerUnaryOp("negative", kernels.Neg, kernels.NegInto)
+	registerUnaryOp("exp", kernels.Exp, kernels.ExpInto)
+	registerUnaryOp("sqrt", kernels.Sqrt, kernels.SqrtInto)
+	registerUnaryOp("sigmoid", kernels.Sigmoid, kernels.SigmoidInto)
+	registerUnaryOp("tanh", kernels.Tanh, kernels.TanhInto)
+	registerUnaryOp("relu", kernels.Relu, kernels.ReluInto)
+	registerUnaryOp("gelu", kernels.Gelu, kernels.GeluInto)
 
 	for _, c := range []struct {
 		name string

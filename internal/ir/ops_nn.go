@@ -52,6 +52,9 @@ func init() {
 		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
 			return kernels.MatMul(args[0], args[1]), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, _ Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.MatMulInto(args[0], args[1], out), nil
+		},
 		Pattern:   PatternOutFusable,
 		NumInputs: 2,
 	})
@@ -76,6 +79,9 @@ func init() {
 		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
 			return kernels.Add(args[0], args[1]), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, _ Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.AddInto(args[0], args[1], out), nil
+		},
 		Pattern:   PatternBroadcast,
 		NumInputs: 2,
 	})
@@ -85,6 +91,7 @@ func init() {
 		Rel:       identityRel,
 		Shape:     identityShapeFunc,
 		Eval:      unaryEval(kernels.Softmax),
+		EvalInto:  unaryEvalInto(kernels.SoftmaxInto),
 		Pattern:   PatternOpaque, // row reduction: keep out of element-wise groups
 		NumInputs: 1,
 	})
@@ -102,13 +109,17 @@ func init() {
 			eps := float32(attrs.Float("eps", 1e-5))
 			return kernels.LayerNorm(args[0], args[1], args[2], eps), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			eps := float32(attrs.Float("eps", 1e-5))
+			return kernels.LayerNormInto(args[0], args[1], args[2], out, eps), nil
+		},
 		Pattern:   PatternOpaque,
 		NumInputs: 3,
 	})
 
-	registerReduceOp("sum", kernels.Sum)
-	registerReduceOp("mean", kernels.Mean)
-	registerReduceOp("max", kernels.Max)
+	registerReduceOp("sum", kernels.Sum, kernels.SumInto)
+	registerReduceOp("mean", kernels.Mean, kernels.MeanInto)
+	registerReduceOp("max", kernels.Max, kernels.MaxInto)
 
 	RegisterOp(&Op{
 		Name: "argmax",
@@ -149,6 +160,9 @@ func init() {
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return kernels.ArgMax(args[0], attrs.Int("axis", -1)), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.ArgMaxInto(args[0], out, attrs.Int("axis", -1)), nil
+		},
 		Pattern:   PatternOpaque,
 		NumInputs: 1,
 	})
@@ -166,7 +180,7 @@ func checkAxis(axis, rank int) (int, error) {
 	return axis, nil
 }
 
-func registerReduceOp(name string, k func(a *tensor.Tensor, axis int, keep bool) *tensor.Tensor) {
+func registerReduceOp(name string, k func(a *tensor.Tensor, axis int, keep bool) *tensor.Tensor, kInto func(a, out *tensor.Tensor, axis int, keep bool) *tensor.Tensor) {
 	RegisterOp(&Op{
 		Name: name,
 		Rel: func(args []Type, attrs Attrs) (Type, error) {
@@ -216,6 +230,9 @@ func registerReduceOp(name string, k func(a *tensor.Tensor, axis int, keep bool)
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return k(args[0], attrs.Int("axis", -1), attrs.Bool("keepdims", false)), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kInto(args[0], out, attrs.Int("axis", -1), attrs.Bool("keepdims", false)), nil
+		},
 		Pattern:   PatternOpaque,
 		NumInputs: 1,
 	})
@@ -256,6 +273,9 @@ func registerConvOps() {
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return kernels.Conv2D(args[0], args[1], attrs.Int("stride", 1), attrs.Int("pad", 0)), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.Conv2DInto(args[0], args[1], out, attrs.Int("stride", 1), attrs.Int("pad", 0)), nil
+		},
 		Pattern:   PatternOutFusable,
 		NumInputs: 2,
 	})
@@ -292,6 +312,9 @@ func registerConvOps() {
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return kernels.MaxPool2D(args[0], attrs.Int("k", 2), attrs.Int("stride", 2)), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.MaxPool2DInto(args[0], out, attrs.Int("k", 2), attrs.Int("stride", 2)), nil
+		},
 		Pattern:   PatternOpaque,
 		NumInputs: 1,
 	})
@@ -301,6 +324,9 @@ func registerConvOps() {
 		Shape: poolShape,
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return kernels.AvgPool2D(args[0], attrs.Int("k", 2), attrs.Int("stride", 2)), nil
+		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.AvgPool2DInto(args[0], out, attrs.Int("k", 2), attrs.Int("stride", 2)), nil
 		},
 		Pattern:   PatternOpaque,
 		NumInputs: 1,
@@ -323,6 +349,9 @@ func registerConvOps() {
 		},
 		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
 			return kernels.GlobalAvgPool2D(args[0]), nil
+		},
+		EvalInto: func(args []*tensor.Tensor, _ Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.GlobalAvgPool2DInto(args[0], out), nil
 		},
 		Pattern:   PatternOpaque,
 		NumInputs: 1,

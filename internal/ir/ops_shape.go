@@ -80,6 +80,9 @@ func init() {
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return kernels.Concat(args, attrs.Int("axis", 0)), nil
 		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.ConcatInto(args, out, attrs.Int("axis", 0)), nil
+		},
 		Pattern:   PatternInjective,
 		NumInputs: -1,
 	})
@@ -120,6 +123,9 @@ func init() {
 		},
 		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
 			return kernels.Slice(args[0], attrs.Int("axis", 0), attrs.Int("begin", 0), attrs.Int("end", 0)), nil
+		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.SliceInto(args[0], out, attrs.Int("axis", 0), attrs.Int("begin", 0), attrs.Int("end", 0)), nil
 		},
 		Pattern:   PatternInjective,
 		NumInputs: 1,

@@ -12,6 +12,11 @@ import (
 // study; the implementation favors clarity since those experiments measure
 // allocation behavior, not conv throughput.
 func Conv2D(in, weight *tensor.Tensor, stride, pad int) *tensor.Tensor {
+	return Conv2DInto(in, weight, nil, stride, pad)
+}
+
+// Conv2DInto is Conv2D writing into out when it matches the NCHW result.
+func Conv2DInto(in, weight, out *tensor.Tensor, stride, pad int) *tensor.Tensor {
 	if in.Rank() != 4 || weight.Rank() != 4 {
 		panic(fmt.Sprintf("kernels: conv2d requires rank-4 input/weight, got %v / %v", in.Shape(), weight.Shape()))
 	}
@@ -21,7 +26,9 @@ func Conv2D(in, weight *tensor.Tensor, stride, pad int) *tensor.Tensor {
 		panic(fmt.Sprintf("kernels: conv2d channel mismatch: input %d vs weight %d", cIn, cInW))
 	}
 	oh, ow := Conv2DOutDims(h, w, kh, kw, stride, pad)
-	out := tensor.New(tensor.Float32, n, cOut, oh, ow)
+	if !fits(out, tensor.Float32, n, cOut, oh, ow) {
+		out = tensor.New(tensor.Float32, n, cOut, oh, ow)
+	}
 	iv, wv, ov := in.F32(), weight.F32(), out.F32()
 	for b := 0; b < n; b++ {
 		for co := 0; co < cOut; co++ {
@@ -69,21 +76,33 @@ func Conv2DOutDims(h, w, kh, kw, stride, pad int) (oh, ow int) {
 
 // MaxPool2D applies kxk max pooling with the given stride in NCHW layout.
 func MaxPool2D(in *tensor.Tensor, k, stride int) *tensor.Tensor {
-	return pool2D(in, k, stride, true)
+	return pool2D(in, nil, k, stride, true)
+}
+
+// MaxPool2DInto is MaxPool2D writing into out when it matches.
+func MaxPool2DInto(in, out *tensor.Tensor, k, stride int) *tensor.Tensor {
+	return pool2D(in, out, k, stride, true)
 }
 
 // AvgPool2D applies kxk average pooling with the given stride in NCHW layout.
 func AvgPool2D(in *tensor.Tensor, k, stride int) *tensor.Tensor {
-	return pool2D(in, k, stride, false)
+	return pool2D(in, nil, k, stride, false)
 }
 
-func pool2D(in *tensor.Tensor, k, stride int, isMax bool) *tensor.Tensor {
+// AvgPool2DInto is AvgPool2D writing into out when it matches.
+func AvgPool2DInto(in, out *tensor.Tensor, k, stride int) *tensor.Tensor {
+	return pool2D(in, out, k, stride, false)
+}
+
+func pool2D(in, out *tensor.Tensor, k, stride int, isMax bool) *tensor.Tensor {
 	if in.Rank() != 4 {
 		panic(fmt.Sprintf("kernels: pool2d requires rank-4 input, got %v", in.Shape()))
 	}
 	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
 	oh, ow := Conv2DOutDims(h, w, k, k, stride, 0)
-	out := tensor.New(tensor.Float32, n, c, oh, ow)
+	if !fits(out, tensor.Float32, n, c, oh, ow) {
+		out = tensor.New(tensor.Float32, n, c, oh, ow)
+	}
 	iv, ov := in.F32(), out.F32()
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -120,11 +139,18 @@ func pool2D(in *tensor.Tensor, k, stride int, isMax bool) *tensor.Tensor {
 // GlobalAvgPool2D reduces each channel's spatial plane to its mean, producing
 // [n, c] from [n, c, h, w].
 func GlobalAvgPool2D(in *tensor.Tensor) *tensor.Tensor {
+	return GlobalAvgPool2DInto(in, nil)
+}
+
+// GlobalAvgPool2DInto is GlobalAvgPool2D writing into out when it matches.
+func GlobalAvgPool2DInto(in, out *tensor.Tensor) *tensor.Tensor {
 	if in.Rank() != 4 {
 		panic(fmt.Sprintf("kernels: global pool requires rank-4 input, got %v", in.Shape()))
 	}
 	n, c, h, w := in.Shape()[0], in.Shape()[1], in.Shape()[2], in.Shape()[3]
-	out := tensor.New(tensor.Float32, n, c)
+	if !fits(out, tensor.Float32, n, c) {
+		out = tensor.New(tensor.Float32, n, c)
+	}
 	iv, ov := in.F32(), out.F32()
 	area := float32(h * w)
 	for b := 0; b < n; b++ {

@@ -4,48 +4,139 @@ import (
 	"fmt"
 	"math"
 
+	nrt "nimble/internal/runtime"
 	"nimble/internal/tensor"
 )
 
-// binaryOp applies f element-wise with NumPy broadcasting over float32
-// tensors, allocating the result.
-func binaryOp(name string, a, b *tensor.Tensor, f func(x, y float32) float32) *tensor.Tensor {
+// parallelThreshold is the element count above which element-wise loops are
+// sharded across the persistent worker pool. Below it the dispatch cost of
+// even a resident pool exceeds the loop itself, so hot small-tensor kernels
+// (an LSTM step's gates) stay serial and allocation-free.
+const parallelThreshold = 1 << 15
+
+// parallelGrain is the per-chunk iteration count for pooled loops.
+const parallelGrain = 1 << 12
+
+// intoOrAlloc returns out when it is a usable float32 destination of the
+// given shape, and a fresh tensor otherwise. This is the destination-passing
+// contract every *Into kernel follows: a planned buffer whose shape and
+// dtype match the precise result is written in place; anything else (no
+// buffer, or an upper-bound plan larger than the precise shape) falls back
+// to allocation.
+func intoOrAlloc(out *tensor.Tensor, dt tensor.DType, shape tensor.Shape) *tensor.Tensor {
+	if out != nil && out.DType() == dt && out.Shape().Equal(shape) {
+		return out
+	}
+	return tensor.New(dt, shape...)
+}
+
+// fits reports whether out is a usable destination of the given dtype and
+// dims. The variadic dims never escape, so callers can test a destination
+// without materializing a shape slice on the heap.
+func fits(out *tensor.Tensor, dt tensor.DType, dims ...int) bool {
+	if out == nil || out.DType() != dt || out.Rank() != len(dims) {
+		return false
+	}
+	for i, d := range dims {
+		if out.Shape()[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// binaryOpInto applies f element-wise with NumPy broadcasting over float32
+// tensors, writing into out when it matches the result shape. The fast
+// paths derive the result shape without materializing it, so a
+// destination-passing hit performs no heap allocation at all.
+func binaryOpInto(name string, a, b, out *tensor.Tensor, f func(x, y float32) float32) *tensor.Tensor {
 	if a.DType() != tensor.Float32 || b.DType() != tensor.Float32 {
 		panic(fmt.Sprintf("kernels: %s requires float32 inputs, got %v and %v", name, a.DType(), b.DType()))
 	}
+	av, bv := a.F32(), b.F32()
+
+	// Fast path: identical shapes, a dominant case in model graphs.
+	if a.Shape().Equal(b.Shape()) {
+		out = intoOrAlloc(out, tensor.Float32, a.Shape())
+		ov := out.F32()
+		if len(ov) >= parallelThreshold {
+			nrt.Default().ParallelFor(len(ov), parallelGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ov[i] = f(av[i], bv[i])
+				}
+			})
+			return out
+		}
+		for i := range ov {
+			ov[i] = f(av[i], bv[i])
+		}
+		return out
+	}
+	// Fast path: b is a scalar of rank <= a's — every b dim is 1, so the
+	// broadcast result is exactly a's shape.
+	if b.NumElements() == 1 && b.Rank() <= a.Rank() {
+		out = intoOrAlloc(out, tensor.Float32, a.Shape())
+		ov := out.F32()
+		s := bv[0]
+		if len(ov) >= parallelThreshold {
+			nrt.Default().ParallelFor(len(ov), parallelGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ov[i] = f(av[i], s)
+				}
+			})
+			return out
+		}
+		for i := range ov {
+			ov[i] = f(av[i], s)
+		}
+		return out
+	}
+	// Fast path: a is a scalar of rank <= b's.
+	if a.NumElements() == 1 && a.Rank() <= b.Rank() {
+		out = intoOrAlloc(out, tensor.Float32, b.Shape())
+		ov := out.F32()
+		s := av[0]
+		if len(ov) >= parallelThreshold {
+			nrt.Default().ParallelFor(len(ov), parallelGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ov[i] = f(s, bv[i])
+				}
+			})
+			return out
+		}
+		for i := range ov {
+			ov[i] = f(s, bv[i])
+		}
+		return out
+	}
+	// Fast path: bias pattern — b is rank-1 matching a's last dimension
+	// (dense outputs + bias vectors), so the result shape is a's. Runs
+	// row-wise with no index arithmetic. n > 0 excludes zero-width shapes
+	// (legal empty dynamic results), which take the general path.
+	if n := b.NumElements(); n > 0 && b.Rank() == 1 && a.Rank() >= 1 && a.Shape()[a.Rank()-1] == n {
+		out = intoOrAlloc(out, tensor.Float32, a.Shape())
+		ov := out.F32()
+		rows := len(av) / n
+		if len(ov) >= parallelThreshold && rows > 1 {
+			nrt.Default().ParallelFor(rows, maxInt(1, parallelGrain/n), func(lo, hi int) {
+				biasRows(av, bv, ov, n, lo, hi, f)
+			})
+		} else {
+			// The serial path calls a named function so no escaping closure
+			// is materialized — keeps the hot bias kernel allocation-free.
+			biasRows(av, bv, ov, n, 0, rows, f)
+		}
+		return out
+	}
+	// General broadcasting via stride-0 virtual strides.
 	outShape, err := tensor.BroadcastShapes(a.Shape(), b.Shape())
 	if err != nil {
 		// This is the runtime type check deferred by the gradual typing of
 		// Any dimensions (§4.1): incompatible concrete shapes surface here.
 		panic(fmt.Sprintf("kernels: %s: %v", name, err))
 	}
-	out := tensor.New(tensor.Float32, outShape...)
-	av, bv, ov := a.F32(), b.F32(), out.F32()
-
-	// Fast path: identical shapes, a dominant case in model graphs.
-	if a.Shape().Equal(b.Shape()) {
-		for i := range ov {
-			ov[i] = f(av[i], bv[i])
-		}
-		return out
-	}
-	// Fast path: b is a scalar.
-	if b.NumElements() == 1 {
-		s := bv[0]
-		for i := range ov {
-			ov[i] = f(av[i], s)
-		}
-		return out
-	}
-	// Fast path: a is a scalar.
-	if a.NumElements() == 1 {
-		s := av[0]
-		for i := range ov {
-			ov[i] = f(s, bv[i])
-		}
-		return out
-	}
-	// General broadcasting via stride-0 virtual strides.
+	out = intoOrAlloc(out, tensor.Float32, outShape)
+	ov := out.F32()
 	sa := broadcastStrides(a.Shape(), outShape)
 	sb := broadcastStrides(b.Shape(), outShape)
 	idx := make([]int, outShape.Rank())
@@ -68,6 +159,22 @@ func binaryOp(name string, a, b *tensor.Tensor, f func(x, y float32) float32) *t
 	return out
 }
 
+// binaryOp is the allocating wrapper kept for callers without a planned
+// destination.
+func binaryOp(name string, a, b *tensor.Tensor, f func(x, y float32) float32) *tensor.Tensor {
+	return binaryOpInto(name, a, b, nil, f)
+}
+
+// biasRows applies f(row-element, bias-element) over rows [lo, hi).
+func biasRows(av, bv, ov []float32, n, lo, hi int, f func(x, y float32) float32) {
+	for r := lo; r < hi; r++ {
+		arow, orow := av[r*n:r*n+n], ov[r*n:r*n+n]
+		for j, x := range arow {
+			orow[j] = f(x, bv[j])
+		}
+	}
+}
+
 // broadcastStrides returns strides for shape `s` viewed as the broadcast
 // shape `out`: broadcast (size-1 or missing) axes get stride 0.
 func broadcastStrides(s, out tensor.Shape) []int {
@@ -88,84 +195,135 @@ func broadcastStrides(s, out tensor.Shape) []int {
 	return res
 }
 
-// Add computes a+b with broadcasting.
-func Add(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("add", a, b, func(x, y float32) float32 { return x + y })
+func addScalar(x, y float32) float32 { return x + y }
+func subScalar(x, y float32) float32 { return x - y }
+func mulScalar(x, y float32) float32 { return x * y }
+func divScalar(x, y float32) float32 { return x / y }
+func maxScalar(x, y float32) float32 {
+	if x > y {
+		return x
+	}
+	return y
 }
+func minScalar(x, y float32) float32 {
+	if x < y {
+		return x
+	}
+	return y
+}
+func powScalar(x, y float32) float32 {
+	return float32(math.Pow(float64(x), float64(y)))
+}
+
+// Add computes a+b with broadcasting.
+func Add(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("add", a, b, addScalar) }
+
+// AddInto computes a+b with broadcasting into out.
+func AddInto(a, b, out *tensor.Tensor) *tensor.Tensor { return binaryOpInto("add", a, b, out, addScalar) }
 
 // Sub computes a-b with broadcasting.
-func Sub(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("sub", a, b, func(x, y float32) float32 { return x - y })
-}
+func Sub(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("sub", a, b, subScalar) }
+
+// SubInto computes a-b with broadcasting into out.
+func SubInto(a, b, out *tensor.Tensor) *tensor.Tensor { return binaryOpInto("sub", a, b, out, subScalar) }
 
 // Mul computes a*b (element-wise) with broadcasting.
-func Mul(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("mul", a, b, func(x, y float32) float32 { return x * y })
-}
+func Mul(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("mul", a, b, mulScalar) }
+
+// MulInto computes a*b into out.
+func MulInto(a, b, out *tensor.Tensor) *tensor.Tensor { return binaryOpInto("mul", a, b, out, mulScalar) }
 
 // Div computes a/b with broadcasting.
-func Div(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("div", a, b, func(x, y float32) float32 { return x / y })
-}
+func Div(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("div", a, b, divScalar) }
+
+// DivInto computes a/b into out.
+func DivInto(a, b, out *tensor.Tensor) *tensor.Tensor { return binaryOpInto("div", a, b, out, divScalar) }
 
 // Maximum computes element-wise max(a, b) with broadcasting.
-func Maximum(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("maximum", a, b, func(x, y float32) float32 {
-		if x > y {
-			return x
-		}
-		return y
-	})
+func Maximum(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("maximum", a, b, maxScalar) }
+
+// MaximumInto computes element-wise max(a, b) into out.
+func MaximumInto(a, b, out *tensor.Tensor) *tensor.Tensor {
+	return binaryOpInto("maximum", a, b, out, maxScalar)
 }
 
 // Minimum computes element-wise min(a, b) with broadcasting.
-func Minimum(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("minimum", a, b, func(x, y float32) float32 {
-		if x < y {
-			return x
-		}
-		return y
-	})
+func Minimum(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("minimum", a, b, minScalar) }
+
+// MinimumInto computes element-wise min(a, b) into out.
+func MinimumInto(a, b, out *tensor.Tensor) *tensor.Tensor {
+	return binaryOpInto("minimum", a, b, out, minScalar)
 }
 
 // Power computes a^b element-wise with broadcasting.
-func Power(a, b *tensor.Tensor) *tensor.Tensor {
-	return binaryOp("power", a, b, func(x, y float32) float32 {
-		return float32(math.Pow(float64(x), float64(y)))
-	})
+func Power(a, b *tensor.Tensor) *tensor.Tensor { return binaryOp("power", a, b, powScalar) }
+
+// PowerInto computes a^b into out.
+func PowerInto(a, b, out *tensor.Tensor) *tensor.Tensor {
+	return binaryOpInto("power", a, b, out, powScalar)
 }
 
-// unaryOp applies f element-wise to a float32 tensor.
-func unaryOp(name string, a *tensor.Tensor, f func(x float32) float32) *tensor.Tensor {
+// unaryOpInto applies f element-wise to a float32 tensor, writing into out
+// when it matches.
+func unaryOpInto(name string, a, out *tensor.Tensor, f func(x float32) float32) *tensor.Tensor {
 	if a.DType() != tensor.Float32 {
 		panic(fmt.Sprintf("kernels: %s requires float32 input, got %v", name, a.DType()))
 	}
-	out := tensor.New(tensor.Float32, a.Shape()...)
+	out = intoOrAlloc(out, tensor.Float32, a.Shape())
 	av, ov := a.F32(), out.F32()
+	if len(av) >= parallelThreshold {
+		nrt.Default().ParallelFor(len(av), parallelGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ov[i] = f(av[i])
+			}
+		})
+		return out
+	}
 	for i := range av {
 		ov[i] = f(av[i])
 	}
 	return out
 }
 
-// Neg computes -a.
-func Neg(a *tensor.Tensor) *tensor.Tensor {
-	return unaryOp("neg", a, func(x float32) float32 { return -x })
+func unaryOp(name string, a *tensor.Tensor, f func(x float32) float32) *tensor.Tensor {
+	return unaryOpInto(name, a, nil, f)
 }
+
+func negScalar(x float32) float32  { return -x }
+func expScalar(x float32) float32  { return float32(math.Exp(float64(x))) }
+func sqrtScalar(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+func tanhScalar(x float32) float32 { return float32(math.Tanh(float64(x))) }
+func reluScalar(x float32) float32 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Neg computes -a.
+func Neg(a *tensor.Tensor) *tensor.Tensor { return unaryOp("neg", a, negScalar) }
+
+// NegInto computes -a into out.
+func NegInto(a, out *tensor.Tensor) *tensor.Tensor { return unaryOpInto("neg", a, out, negScalar) }
 
 // Exp computes e^a element-wise.
-func Exp(a *tensor.Tensor) *tensor.Tensor {
-	return unaryOp("exp", a, func(x float32) float32 { return float32(math.Exp(float64(x))) })
-}
+func Exp(a *tensor.Tensor) *tensor.Tensor { return unaryOp("exp", a, expScalar) }
+
+// ExpInto computes e^a into out.
+func ExpInto(a, out *tensor.Tensor) *tensor.Tensor { return unaryOpInto("exp", a, out, expScalar) }
 
 // Sqrt computes the element-wise square root.
-func Sqrt(a *tensor.Tensor) *tensor.Tensor {
-	return unaryOp("sqrt", a, func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
-}
+func Sqrt(a *tensor.Tensor) *tensor.Tensor { return unaryOp("sqrt", a, sqrtScalar) }
+
+// SqrtInto computes the element-wise square root into out.
+func SqrtInto(a, out *tensor.Tensor) *tensor.Tensor { return unaryOpInto("sqrt", a, out, sqrtScalar) }
 
 // Sigmoid computes 1/(1+e^-x) element-wise.
-func Sigmoid(a *tensor.Tensor) *tensor.Tensor {
-	return unaryOp("sigmoid", a, sigmoidScalar)
+func Sigmoid(a *tensor.Tensor) *tensor.Tensor { return unaryOp("sigmoid", a, sigmoidScalar) }
+
+// SigmoidInto computes the sigmoid into out.
+func SigmoidInto(a, out *tensor.Tensor) *tensor.Tensor {
+	return unaryOpInto("sigmoid", a, out, sigmoidScalar)
 }
 
 func sigmoidScalar(x float32) float32 {
@@ -173,29 +331,30 @@ func sigmoidScalar(x float32) float32 {
 }
 
 // Tanh computes tanh(x) element-wise.
-func Tanh(a *tensor.Tensor) *tensor.Tensor {
-	return unaryOp("tanh", a, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
-}
+func Tanh(a *tensor.Tensor) *tensor.Tensor { return unaryOp("tanh", a, tanhScalar) }
+
+// TanhInto computes tanh(x) into out.
+func TanhInto(a, out *tensor.Tensor) *tensor.Tensor { return unaryOpInto("tanh", a, out, tanhScalar) }
 
 // Relu computes max(0, x) element-wise.
-func Relu(a *tensor.Tensor) *tensor.Tensor {
-	return unaryOp("relu", a, func(x float32) float32 {
-		if x > 0 {
-			return x
-		}
-		return 0
-	})
+func Relu(a *tensor.Tensor) *tensor.Tensor { return unaryOp("relu", a, reluScalar) }
+
+// ReluInto computes max(0, x) into out.
+func ReluInto(a, out *tensor.Tensor) *tensor.Tensor { return unaryOpInto("relu", a, out, reluScalar) }
+
+// geluScalar is the tanh approximation BERT uses:
+// 0.5x(1+tanh(sqrt(2/pi)(x+0.044715x^3))).
+func geluScalar(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	x64 := float64(x)
+	return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
 }
 
-// Gelu computes the Gaussian error linear unit using the tanh approximation
-// BERT uses: 0.5x(1+tanh(sqrt(2/pi)(x+0.044715x^3))).
-func Gelu(a *tensor.Tensor) *tensor.Tensor {
-	const c = 0.7978845608028654 // sqrt(2/pi)
-	return unaryOp("gelu", a, func(x float32) float32 {
-		x64 := float64(x)
-		return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
-	})
-}
+// Gelu computes the Gaussian error linear unit.
+func Gelu(a *tensor.Tensor) *tensor.Tensor { return unaryOp("gelu", a, geluScalar) }
+
+// GeluInto computes the GELU into out.
+func GeluInto(a, out *tensor.Tensor) *tensor.Tensor { return unaryOpInto("gelu", a, out, geluScalar) }
 
 // Greater returns a bool tensor of a > b with broadcasting.
 func Greater(a, b *tensor.Tensor) *tensor.Tensor {

@@ -11,9 +11,8 @@ package kernels
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	nrt "nimble/internal/runtime"
 	"nimble/internal/tensor"
 )
 
@@ -301,21 +300,40 @@ func MatMulSymbolicNaive(a, b, out *tensor.Tensor) {
 // MatMul computes a@b with the static-shape kernel, allocating the output.
 // It is the default kernel used outside the codegen experiments.
 func MatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	return MatMulInto(a, b, nil)
+}
+
+// MatMulInto computes a@b with the static-shape kernel, writing into out
+// when it matches the [m, n] float32 result (destination-passing; the §4.3
+// planned-buffer contract) and allocating otherwise.
+func MatMulInto(a, b, out *tensor.Tensor) *tensor.Tensor {
 	m, _, n := checkMatMul(a, b)
-	out := tensor.New(tensor.Float32, m, n)
+	if !fits(out, tensor.Float32, m, n) {
+		out = tensor.New(tensor.Float32, m, n)
+	}
 	MatMulStatic(a, b, out)
 	return out
 }
 
-// MatMulParallel computes a@b splitting row blocks across workers
-// goroutines; workers <= 0 selects GOMAXPROCS. It stands in for the
-// "third-party library" (MKL/cuDNN) kernel provider that Nimble's dispatch
-// function may select when profiling shows it is faster (§4.5).
+// MatMulParallel computes a@b splitting row blocks across the persistent
+// worker pool; workers <= 0 selects the pool's full width. It stands in for
+// the "third-party library" (MKL/cuDNN) kernel provider that Nimble's
+// dispatch function may select when profiling shows it is faster (§4.5).
 func MatMulParallel(a, b *tensor.Tensor, workers int) *tensor.Tensor {
+	return MatMulParallelInto(a, b, nil, workers)
+}
+
+// MatMulParallelInto is MatMulParallel writing into out when it matches.
+// Row blocks are sharded over the resident pool (no goroutine is spawned
+// per call); the worker cap is expressed through the chunk grain.
+func MatMulParallelInto(a, b, out *tensor.Tensor, workers int) *tensor.Tensor {
 	m, k, n := checkMatMul(a, b)
-	out := tensor.New(tensor.Float32, m, n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if !fits(out, tensor.Float32, m, n) {
+		out = tensor.New(tensor.Float32, m, n)
+	}
+	pool := nrt.Default()
+	if workers <= 0 || workers > pool.Workers() {
+		workers = pool.Workers()
 	}
 	blocks := (m + TileFactor - 1) / TileFactor
 	if workers > blocks {
@@ -326,31 +344,17 @@ func MatMulParallel(a, b *tensor.Tensor, workers int) *tensor.Tensor {
 		return out
 	}
 	av, bv, ov := a.F32(), b.F32(), out.F32()
-	var wg sync.WaitGroup
-	per := (blocks + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > blocks {
-			hi = blocks
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				i0 := i * TileFactor
-				rows := TileFactor
-				if i0+rows > m {
-					rows = m - i0
-				}
-				microBlock(av, bv, ov, i0, rows, k, n)
+	grain := (blocks + workers - 1) / workers
+	pool.ParallelFor(blocks, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			i0 := i * TileFactor
+			rows := TileFactor
+			if i0+rows > m {
+				rows = m - i0
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			microBlock(av, bv, ov, i0, rows, k, n)
+		}
+	})
 	return out
 }
 
@@ -358,7 +362,12 @@ func MatMulParallel(a, b *tensor.Tensor, workers int) *tensor.Tensor {
 // (bias may be nil). This is the fused dense+bias kernel every model in the
 // evaluation leans on.
 func Dense(x, w, bias *tensor.Tensor) *tensor.Tensor {
-	out := MatMul(x, w)
+	return DenseInto(x, w, bias, nil)
+}
+
+// DenseInto computes x@w + bias into out when it matches.
+func DenseInto(x, w, bias, out *tensor.Tensor) *tensor.Tensor {
+	out = MatMulInto(x, w, out)
 	if bias != nil {
 		addBiasInPlace(out, bias)
 	}

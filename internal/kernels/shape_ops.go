@@ -12,6 +12,11 @@ import (
 // count is the sum of input row counts, known only at runtime when any input
 // has an Any dimension.
 func Concat(ts []*tensor.Tensor, axis int) *tensor.Tensor {
+	return ConcatInto(ts, nil, axis)
+}
+
+// ConcatInto is Concat writing into out when it matches the result shape.
+func ConcatInto(ts []*tensor.Tensor, out *tensor.Tensor, axis int) *tensor.Tensor {
 	if len(ts) == 0 {
 		panic("kernels: concat of zero tensors")
 	}
@@ -32,7 +37,7 @@ func Concat(ts []*tensor.Tensor, axis int) *tensor.Tensor {
 		}
 		outShape[axis] += t.Shape()[axis]
 	}
-	out := tensor.New(first.DType(), outShape...)
+	out = intoOrAlloc(out, first.DType(), outShape)
 	// Copy in (outer, axis*inner) panels.
 	outer := 1
 	for d := 0; d < axis; d++ {
@@ -87,13 +92,38 @@ func Split(t *tensor.Tensor, parts, axis int) []*tensor.Tensor {
 
 // Slice extracts t[..., lo:hi, ...] along axis (copying).
 func Slice(t *tensor.Tensor, axis, lo, hi int) *tensor.Tensor {
+	return SliceInto(t, nil, axis, lo, hi)
+}
+
+// slicedShapeFits reports whether out matches t's shape with `axis` replaced
+// by extent, without materializing that shape — keeps a destination hit
+// allocation-free.
+func slicedShapeFits(out, t *tensor.Tensor, axis, extent int) bool {
+	if out == nil || out.DType() != t.DType() || out.Rank() != t.Rank() {
+		return false
+	}
+	for d, v := range t.Shape() {
+		if d == axis {
+			v = extent
+		}
+		if out.Shape()[d] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SliceInto is Slice writing into out when it matches the result shape.
+func SliceInto(t, out *tensor.Tensor, axis, lo, hi int) *tensor.Tensor {
 	axis = normalizeAxis(axis, t.Rank())
 	if lo < 0 || hi > t.Shape()[axis] || lo > hi {
 		panic(fmt.Sprintf("kernels: slice [%d:%d] out of range for axis %d of %v", lo, hi, axis, t.Shape()))
 	}
-	outShape := t.Shape().Clone()
-	outShape[axis] = hi - lo
-	out := tensor.New(t.DType(), outShape...)
+	if !slicedShapeFits(out, t, axis, hi-lo) {
+		outShape := t.Shape().Clone()
+		outShape[axis] = hi - lo
+		out = tensor.New(t.DType(), outShape...)
+	}
 	outer := 1
 	for d := 0; d < axis; d++ {
 		outer *= t.Shape()[d]

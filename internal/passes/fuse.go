@@ -211,6 +211,7 @@ func buildFusedBinding(bs []binding, ops []*ir.Op, id int) binding {
 			Fn:   composeShapeFuncs(members),
 		},
 		Eval:      composeEvals(members),
+		EvalInto:  composeEvalInto(members),
 		Pattern:   ir.PatternOpaque,
 		NumInputs: len(externals),
 	}
@@ -251,22 +252,42 @@ func composeShapeFuncs(members []fusedMember) func([]tensor.Shape, []*tensor.Ten
 // composeEvals chains the members' kernels into one composite kernel.
 func composeEvals(members []fusedMember) ir.EvalFunc {
 	return func(args []*tensor.Tensor, _ ir.Attrs) (*tensor.Tensor, error) {
-		results := make([]*tensor.Tensor, len(members))
-		for m, mem := range members {
-			in := make([]*tensor.Tensor, len(mem.args))
-			for i, r := range mem.args {
-				if r.internal {
-					in[i] = results[r.idx]
-				} else {
-					in[i] = args[r.idx]
-				}
-			}
-			out, err := mem.op.Eval(in, mem.attrs)
-			if err != nil {
-				return nil, fmt.Errorf("passes: fused member %s: %w", mem.op.Name, err)
-			}
-			results[m] = out
-		}
-		return results[len(members)-1], nil
+		return runFused(members, args, nil)
 	}
+}
+
+// composeEvalInto is the destination-passing form of the composite kernel:
+// intermediates still materialize (they are invisible to the planner), but
+// the last member writes the planned output buffer directly, so a fused
+// chain costs no final allocation or copy.
+func composeEvalInto(members []fusedMember) ir.EvalIntoFunc {
+	return func(args []*tensor.Tensor, _ ir.Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+		return runFused(members, args, out)
+	}
+}
+
+func runFused(members []fusedMember, args []*tensor.Tensor, out *tensor.Tensor) (*tensor.Tensor, error) {
+	results := make([]*tensor.Tensor, len(members))
+	for m, mem := range members {
+		in := make([]*tensor.Tensor, len(mem.args))
+		for i, r := range mem.args {
+			if r.internal {
+				in[i] = results[r.idx]
+			} else {
+				in[i] = args[r.idx]
+			}
+		}
+		var res *tensor.Tensor
+		var err error
+		if m == len(members)-1 && out != nil && mem.op.EvalInto != nil {
+			res, err = mem.op.EvalInto(in, mem.attrs, out)
+		} else {
+			res, err = mem.op.Eval(in, mem.attrs)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("passes: fused member %s: %w", mem.op.Name, err)
+		}
+		results[m] = res
+	}
+	return results[len(members)-1], nil
 }

@@ -1,0 +1,72 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+		hits := make([]int32, n)
+		p.ParallelFor(n, 13, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForSerialFallback(t *testing.T) {
+	p := NewPool(1)
+	calls := 0
+	p.ParallelFor(100, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Errorf("single-worker pool should run one chunk, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("expected exactly one inline call, got %d", calls)
+	}
+}
+
+// Concurrent ParallelFor callers must all complete even when they exceed the
+// pool's submission queue: the caller-participates design guarantees
+// progress without worker availability.
+func TestParallelForConcurrentCallers(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.ParallelFor(1000, 7, func(lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 16*1000 {
+		t.Errorf("iterations = %d, want %d", got, 16*1000)
+	}
+}
+
+func TestDefaultPoolSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() must return the same pool")
+	}
+	if Default().Workers() < 1 {
+		t.Error("default pool must have at least one worker")
+	}
+}

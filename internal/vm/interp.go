@@ -19,11 +19,29 @@ type VM struct {
 	pool *storagePool
 	// maxDepth bounds recursion to catch runaway programs.
 	maxDepth int
+
+	// kernels is the executable's kernel table, cached at Invoke so
+	// execPacked dispatches by direct index instead of the bounds-and-nil
+	// checked exe.Kernel call.
+	kernels []PackedFunc
+	// freeFrames recycles activation frames (and their register files)
+	// across calls; the dynamic models re-enter `loop` once per timestep, so
+	// frame churn is hot-path work.
+	freeFrames []*frame
+	// objScratch stages call arguments for Invoke/InvokeClosure; newFrame
+	// copies them into the callee's registers immediately, so one scratch
+	// slice serves every call site.
+	objScratch []Object
+	// tensorScratch stages kernel arguments for execPacked; kernels read
+	// their argument slice synchronously and never retain it.
+	tensorScratch []*tensor.Tensor
+	// keepScratch is releaseFrame's reusable escape set.
+	keepScratch map[*Storage]bool
 }
 
 // New creates a VM over exe with the runtime storage pool enabled.
 func New(exe *Executable) *VM {
-	return &VM{exe: exe, pool: newStoragePool(), maxDepth: 1 << 20}
+	return &VM{exe: exe, pool: newStoragePool(), maxDepth: 1 << 20, keepScratch: map[*Storage]bool{}}
 }
 
 // SetProfiler attaches (or detaches, with nil) a profiler.
@@ -72,9 +90,51 @@ func (vm *VM) newFrame(fnIdx int, args []Object) (*frame, error) {
 	if len(args) != fn.NumParams {
 		return nil, fmt.Errorf("vm: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
 	}
-	regs := make([]Object, fn.RegCount)
-	copy(regs, args)
-	return &frame{fn: fnIdx, regs: regs, pc: fn.Start}, nil
+	var f *frame
+	if n := len(vm.freeFrames); n > 0 {
+		f = vm.freeFrames[n-1]
+		vm.freeFrames = vm.freeFrames[:n-1]
+	} else {
+		f = &frame{}
+	}
+	if cap(f.regs) >= fn.RegCount {
+		// Recycled register files were zeroed by freeFrame, so no stale
+		// Object can leak into releaseFrame's storage scan.
+		f.regs = f.regs[:fn.RegCount]
+	} else {
+		f.regs = make([]Object, fn.RegCount)
+	}
+	copy(f.regs, args)
+	f.fn = fnIdx
+	f.pc = fn.Start
+	f.dst = 0
+	return f, nil
+}
+
+// clearObjects nils a staged-argument scratch slice so its backing array
+// does not keep dead Objects reachable between calls.
+func clearObjects(s []Object) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// freeFrame returns a frame (and its register file) to the recycle list.
+const maxFreeFrames = 64
+
+func (vm *VM) freeFrame(f *frame) {
+	if len(vm.freeFrames) >= maxFreeFrames {
+		return
+	}
+	// Zero the registers now rather than at reuse: a parked frame must not
+	// retain dead tensors across invocations, and releaseFrame's storage
+	// scan must never see objects from a previous activation. Registers
+	// beyond the current length were zeroed when their frame was freed, so
+	// the whole capacity stays nil outside the live window.
+	for i := range f.regs {
+		f.regs[i] = nil
+	}
+	vm.freeFrames = append(vm.freeFrames, f)
 }
 
 // run executes the dispatch loop starting from fnIdx.
@@ -83,6 +143,9 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pre-resolve the kernel table once per entry; execPacked then skips the
+	// per-call exe.Kernel lookup.
+	vm.kernels = vm.exe.kernels
 	stack := []*frame{f}
 	code := vm.exe.Code
 	prof := vm.prof
@@ -114,6 +177,8 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 			// frame" (§4.3, §5.2): at frame exit, every storage that does
 			// not back the escaping return value goes back to the pool.
 			vm.releaseFrame(fr, ret)
+			retDst := fr.dst
+			vm.freeFrame(fr)
 			if len(stack) == 0 {
 				if prof != nil && prof.Timing {
 					prof.OtherTime += time.Since(tStart)
@@ -121,18 +186,22 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 				return ret, nil
 			}
 			caller := stack[len(stack)-1]
-			caller.regs[fr.dst] = ret
+			caller.regs[retDst] = ret
 			// caller.pc already advanced past its Invoke.
 
 		case OpInvoke:
 			if len(stack) >= vm.maxDepth {
 				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
 			}
-			callArgs := make([]Object, len(in.Args))
-			for i, r := range in.Args {
-				callArgs[i] = fr.regs[r]
+			// Stage the arguments in the shared scratch: newFrame copies them
+			// into the callee's registers before returning.
+			callArgs := vm.objScratch[:0]
+			for _, r := range in.Args {
+				callArgs = append(callArgs, fr.regs[r])
 			}
+			vm.objScratch = callArgs[:0]
 			nf, err := vm.newFrame(int(in.Imm), callArgs)
+			clearObjects(callArgs) // drop scratch references so staged args don't outlive their frame
 			if err != nil {
 				return nil, err
 			}
@@ -148,12 +217,14 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 			if !ok {
 				return nil, fmt.Errorf("vm: InvokeClosure on %T", fr.regs[in.A])
 			}
-			callArgs := make([]Object, 0, len(clo.Free)+len(in.Args))
+			callArgs := vm.objScratch[:0]
 			callArgs = append(callArgs, clo.Free...)
 			for _, r := range in.Args {
 				callArgs = append(callArgs, fr.regs[r])
 			}
+			vm.objScratch = callArgs[:0]
 			nf, err := vm.newFrame(clo.Fn, callArgs)
+			clearObjects(callArgs)
 			if err != nil {
 				return nil, err
 			}
@@ -327,24 +398,32 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 }
 
 func (vm *VM) execPacked(fr *frame, in Instruction) error {
-	kernel, err := vm.exe.Kernel(int(in.Imm))
-	if err != nil {
-		return err
+	// Kernel pointers were pre-resolved at run() entry; a slot can still be
+	// nil after deserialization without LinkKernels, surfaced here.
+	idx := int(in.Imm)
+	if idx < 0 || idx >= len(vm.kernels) {
+		return fmt.Errorf("vm: kernel index %d out of range", idx)
+	}
+	kernel := vm.kernels[idx]
+	if kernel == nil {
+		return fmt.Errorf("vm: kernel %q is unlinked; call LinkKernels after deserialization", vm.exe.KernelNames[idx])
 	}
 	hasOut := in.B == 1
 	nIn := len(in.Args)
 	if hasOut {
 		nIn--
 	}
-	args := make([]*tensor.Tensor, nIn)
+	args := vm.tensorScratch[:0]
 	for i := 0; i < nIn; i++ {
 		t, err := asTensor(fr.regs[in.Args[i]])
 		if err != nil {
 			return fmt.Errorf("vm: kernel %s arg %d: %w", vm.exe.KernelNames[in.Imm], i, err)
 		}
-		args[i] = t.T
+		args = append(args, t.T)
 	}
+	vm.tensorScratch = args[:0]
 	var out *tensor.Tensor
+	var outObj *TensorObj
 	dev := ir.CPU(0)
 	if hasOut {
 		to, err := asTensor(fr.regs[in.Args[nIn]])
@@ -352,6 +431,7 @@ func (vm *VM) execPacked(fr *frame, in Instruction) error {
 			return fmt.Errorf("vm: kernel %s out buffer: %w", vm.exe.KernelNames[in.Imm], err)
 		}
 		out = to.T
+		outObj = to
 		dev = to.Device
 	}
 	var start time.Time
@@ -360,6 +440,11 @@ func (vm *VM) execPacked(fr *frame, in Instruction) error {
 		start = time.Now()
 	}
 	res, err := kernel(args, out)
+	// Drop the staged argument references immediately: the scratch backing
+	// array must not pin the previous call's tensors past their frame.
+	for i := range args {
+		args[i] = nil
+	}
 	if err != nil {
 		return fmt.Errorf("vm: kernel %s: %w", vm.exe.KernelNames[in.Imm], err)
 	}
@@ -367,17 +452,21 @@ func (vm *VM) execPacked(fr *frame, in Instruction) error {
 		d := time.Since(start)
 		vm.prof.KernelTime += d
 		vm.prof.KernelTimes[vm.exe.KernelNames[in.Imm]] += d
-	}
-	if vm.prof != nil && vm.prof.Timing {
 		// Per-kernel name counts ride along with timing; the cheap
 		// counts-only mode uses Counts[OpInvokePacked] instead.
 		vm.prof.KernelCounts[vm.exe.KernelNames[in.Imm]]++
 	}
+	if res == out && outObj != nil {
+		// Destination-passing hit: the kernel wrote the planned buffer, so
+		// the result register can share the buffer's object wholesale.
+		// Objects are immutable after construction (§5.2's copy-on-write
+		// discipline), making the alias safe.
+		fr.regs[in.Dst] = outObj
+		return nil
+	}
 	var backing *Storage
-	if hasOut {
-		if to, ok := fr.regs[in.Args[nIn]].(*TensorObj); ok {
-			backing = to.Backing
-		}
+	if outObj != nil {
+		backing = outObj.Backing
 	}
 	fr.regs[in.Dst] = &TensorObj{T: res, Device: dev, Backing: backing}
 	return nil
@@ -389,7 +478,8 @@ func (vm *VM) releaseFrame(fr *frame, ret Object) {
 	if vm.pool == nil {
 		return
 	}
-	keep := map[*Storage]bool{}
+	keep := vm.keepScratch
+	clear(keep)
 	collectStorages(ret, keep)
 	for _, o := range fr.regs {
 		switch v := o.(type) {
@@ -463,43 +553,57 @@ func (vm *VM) execAllocStorage(fr *frame, in Instruction) error {
 }
 
 // storagePool is the runtime free list that serves dynamic allocations whose
-// sizes are unknown at compile time: storages are binned by power-of-two
-// size class and handed back out on later requests, cutting both allocation
-// count and latency (§6.3).
+// sizes are unknown at compile time: storages are binned by {device,
+// power-of-two size class} and handed back out on later requests, cutting
+// both allocation count and latency (§6.3). Indexing on the device makes
+// acquire O(1) — a LIFO pop — where a class-only index had to scan past
+// storages parked on other devices.
 type storagePool struct {
-	classes map[int][]*Storage
+	classes map[poolKey][]*Storage
 }
 
-func newStoragePool() *storagePool { return &storagePool{classes: map[int][]*Storage{}} }
+// poolKey bins free storages by device and size class.
+type poolKey struct {
+	dev ir.Device
+	cls int
+}
+
+func newStoragePool() *storagePool { return &storagePool{classes: map[poolKey][]*Storage{}} }
+
+// minSizeClass floors every request at one cache line (64 bytes): a
+// zero-byte request (an empty dynamic result, e.g. slicing an upper-bound
+// output down to nothing) would otherwise land in class 0 and mint a
+// useless 1-byte storage that later same-class requests keep missing.
+const minSizeClass = 6
 
 func sizeClass(size int) int {
-	if size <= 0 {
-		return 0
+	if size <= 1<<minSizeClass {
+		return minSizeClass
 	}
 	return bits.Len(uint(size - 1)) // ceil(log2(size))
 }
 
 // acquire returns a pooled storage of at least `size` bytes on dev, growing
 // the request to its size class so later requests in the same class hit.
+// LIFO order hands back the most recently released storage, whose backing
+// slices are most likely still cache-resident.
 func (p *storagePool) acquire(size int, dev ir.Device) (*Storage, bool) {
-	cls := sizeClass(size)
-	list := p.classes[cls]
-	for i, st := range list {
-		if st.Device == dev {
-			p.classes[cls] = append(list[:i], list[i+1:]...)
-			return st, true
-		}
+	key := poolKey{dev: dev, cls: sizeClass(size)}
+	if list := p.classes[key]; len(list) > 0 {
+		st := list[len(list)-1]
+		p.classes[key] = list[:len(list)-1]
+		return st, true
 	}
 	// Allocate at the class ceiling so the storage is maximally reusable.
-	return &Storage{SizeBytes: 1 << cls, Device: dev}, false
+	return &Storage{SizeBytes: 1 << key.cls, Device: dev}, false
 }
 
 // release returns a storage to the pool; the VM calls it when a kill
 // instruction (lowered to storage release) frees a buffer.
 func (p *storagePool) release(st *Storage) {
-	cls := sizeClass(st.SizeBytes)
-	if len(p.classes[cls]) < 64 { // bound pool growth
-		p.classes[cls] = append(p.classes[cls], st)
+	key := poolKey{dev: st.Device, cls: sizeClass(st.SizeBytes)}
+	if len(p.classes[key]) < 64 { // bound pool growth
+		p.classes[key] = append(p.classes[key], st)
 	}
 }
 

@@ -534,13 +534,66 @@ func TestDisassemble(t *testing.T) {
 }
 
 func TestSizeClass(t *testing.T) {
+	// Requests at or below one cache line clamp to the floor class; above
+	// it, classes are ceil(log2(size)).
 	cases := []struct{ size, cls int }{
-		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+		{0, minSizeClass}, {1, minSizeClass}, {2, minSizeClass}, {63, minSizeClass},
+		{64, minSizeClass}, {65, 7}, {128, 7}, {129, 8}, {1024, 10}, {1025, 11},
 	}
 	for _, c := range cases {
 		if got := sizeClass(c.size); got != c.cls {
 			t.Errorf("sizeClass(%d) = %d, want %d", c.size, got, c.cls)
 		}
+	}
+}
+
+func TestStoragePoolZeroSizeRequest(t *testing.T) {
+	p := newStoragePool()
+	st, reused := p.acquire(0, ir.CPU(0))
+	if reused {
+		t.Fatal("empty pool cannot reuse")
+	}
+	// A zero-byte request must still mint a usable storage at the floor
+	// class, not a 1-byte stub.
+	if st.SizeBytes != 1<<minSizeClass {
+		t.Errorf("zero-size acquire minted %d bytes, want %d", st.SizeBytes, 1<<minSizeClass)
+	}
+	if _, err := st.tensorAt(tensor.Float32, tensor.Shape{4}, 0); err != nil {
+		t.Errorf("floor-class storage cannot host a small tensor: %v", err)
+	}
+	// Releasing and re-acquiring at any size within the floor class hits.
+	p.release(st)
+	got, reused := p.acquire(16, ir.CPU(0))
+	if !reused || got != st {
+		t.Error("floor-class storage not reused for small request")
+	}
+}
+
+func TestStoragePoolDeviceIndexing(t *testing.T) {
+	p := newStoragePool()
+	cpu, sim := ir.CPU(0), ir.Device{Type: ir.DevGPU, ID: 0}
+	a, _ := p.acquire(1024, cpu)
+	b, _ := p.acquire(1024, sim)
+	p.release(a)
+	p.release(b)
+	// Same size class, different devices: each device gets its own bin.
+	got, reused := p.acquire(1000, sim)
+	if !reused || got != b {
+		t.Error("device-keyed pool failed to return the sim-device storage")
+	}
+	got, reused = p.acquire(1000, cpu)
+	if !reused || got != a {
+		t.Error("device-keyed pool failed to return the cpu storage")
+	}
+	if _, reused = p.acquire(1000, cpu); reused {
+		t.Error("pool returned a storage it no longer holds")
+	}
+	// LIFO: the most recently released storage in a bin comes back first.
+	c, _ := p.acquire(1024, cpu)
+	p.release(a)
+	p.release(c)
+	if got, _ := p.acquire(1024, cpu); got != c {
+		t.Error("pool is not LIFO within a bin")
 	}
 }
 
