@@ -7,13 +7,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full ci
+.PHONY: all build vet test race fuzz-smoke bench bench-full serve-bench ci
 
 all: build vet test
 
-# Race-detect the packages that shard work onto the worker pool.
+# Race-detect the serving runtime and the packages that shard work onto
+# the worker pool (16-goroutine shared-executable tests live in vm/serve).
 race:
-	$(GO) test -race ./internal/runtime ./internal/kernels ./internal/vm
+	$(GO) test -race ./internal/serve ./internal/vm ./internal/runtime ./internal/kernels ./internal/conformance
+
+# 30-second differential fuzz: compiled VM vs eager reference on random
+# IR programs. Counterexamples land in internal/conformance/testdata.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzVMConformance -fuzztime 30s ./internal/conformance
 
 build:
 	$(GO) build ./...
@@ -32,5 +38,9 @@ bench:
 # Full-scale numbers for EXPERIMENTS.md.
 bench-full:
 	$(GO) run ./cmd/nimble-bench
+
+# Closed-loop serving sweep: 1-64 clients over an 8-session pool.
+serve-bench:
+	$(GO) run ./cmd/nimble-bench -serve -serve-workers 8
 
 ci: all race bench

@@ -1,12 +1,17 @@
 // Command nimble-bench regenerates the paper's tables and figures (see
 // DESIGN.md §4 for the experiment index). Host-CPU columns are measured;
 // ARM/GPU columns come from the platform cost model and print "(sim)".
+//
+// With -serve it instead runs the closed-loop serving load generator:
+// 1..64 concurrent clients over a shared session pool, reporting p50/p99
+// latency, requests/sec and tokens/sec per client count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"nimble/internal/bench"
 )
@@ -15,7 +20,25 @@ func main() {
 	exp := flag.String("experiment", "all", "table1 | table2 | table3 | table4 | figure3 | memplan | all")
 	quick := flag.Bool("quick", false, "reduced sample counts and model sizes")
 	seed := flag.Int64("seed", 7, "sampler seed")
+	serveMode := flag.Bool("serve", false, "run the concurrent-serving load generator instead of the paper tables")
+	serveWorkers := flag.Int("serve-workers", 8, "session pool size for -serve")
+	serveDur := flag.Duration("serve-duration", time.Second, "measured window per -serve cell")
+	serveBatch := flag.Bool("serve-batch", true, "enable micro-batching for the MLP rows in -serve")
 	flag.Parse()
+
+	if *serveMode {
+		res, err := bench.Serve(bench.ServeConfig{
+			Workers:  *serveWorkers,
+			Duration: *serveDur,
+			Seed:     *seed,
+			Batch:    *serveBatch,
+		})
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		fmt.Println(res.Format())
+		return
+	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	run := func(name string, f func(bench.Config) (fmt.Stringer, error)) {

@@ -1,0 +1,286 @@
+// Command nimble-serve exposes a compiled model over HTTP: one frozen
+// executable, a pool of VM sessions, and (for row-independent models) a
+// micro-batcher that coalesces concurrent requests into single kernel
+// dispatches.
+//
+//	nimble-serve -model mlp -workers 8 -batch
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/invoke -d '{"args":[{"dtype":"float32","shape":[1,64],"data":[...]}]}'
+//	curl -s localhost:8080/stats
+//
+// Endpoints:
+//
+//	POST /invoke  {"entry":"main","args":[tensor...]} -> {"output":tensor,"latency_us":...}
+//	              lstm accepts {"seq":[tensor,...]} (one [1,1,in] step per element)
+//	GET  /healthz -> {"ok":true,...}
+//	GET  /stats   -> pool + batcher counters
+//
+// Tensors travel as {"dtype":"float32|int64","shape":[...],"data":[...]}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"nimble/internal/compiler"
+	"nimble/internal/models"
+	"nimble/internal/serve"
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+type tensorJSON struct {
+	DType string    `json:"dtype"`
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+func toTensor(tj tensorJSON) (*tensor.Tensor, error) {
+	n := 1
+	for _, d := range tj.Shape {
+		if d < 0 {
+			return nil, fmt.Errorf("negative dim %d", d)
+		}
+		n *= d
+	}
+	if len(tj.Data) != n {
+		return nil, fmt.Errorf("shape %v wants %d elements, got %d", tj.Shape, n, len(tj.Data))
+	}
+	switch tj.DType {
+	case "", "float32":
+		data := make([]float32, n)
+		for i, v := range tj.Data {
+			data[i] = float32(v)
+		}
+		return tensor.FromF32(data, tj.Shape...), nil
+	case "int64":
+		data := make([]int64, n)
+		for i, v := range tj.Data {
+			data[i] = int64(v)
+		}
+		return tensor.FromI64(data, tj.Shape...), nil
+	}
+	return nil, fmt.Errorf("unsupported dtype %q (float32 and int64 are served)", tj.DType)
+}
+
+func fromTensor(t *tensor.Tensor) tensorJSON {
+	return tensorJSON{
+		DType: t.DType().String(),
+		Shape: t.Shape(),
+		Data:  t.AsF64(),
+	}
+}
+
+type invokeRequest struct {
+	Entry string       `json:"entry"`
+	Args  []tensorJSON `json:"args"`
+	// Seq is the LSTM input form: a list of step tensors packed into the
+	// model's cons-list ADT server-side.
+	Seq []tensorJSON `json:"seq"`
+}
+
+type invokeResponse struct {
+	Output    tensorJSON `json:"output"`
+	LatencyUS float64    `json:"latency_us"`
+}
+
+// server binds the pool and optional batcher to the model-specific input
+// adapter.
+type server struct {
+	model   string
+	pool    *serve.Pool
+	batcher *serve.Batcher
+	// toArgs converts a decoded request into VM arguments.
+	toArgs func(req invokeRequest) ([]vm.Object, error)
+	start  time.Time
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "mlp", "mlp | lstm | bert")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "session pool size")
+	batch := flag.Bool("batch", true, "micro-batch concurrent requests (row-independent models only)")
+	maxBatch := flag.Int("max-batch", 16, "micro-batch size cap")
+	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "micro-batch collection window")
+	flag.Parse()
+
+	s := &server{model: *model, start: time.Now()}
+	switch *model {
+	case "mlp":
+		m := models.NewMLP(models.DefaultMLPConfig())
+		res, err := compiler.Compile(m.Module, compiler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.pool = mustPool(res, *workers)
+		if *batch {
+			s.batcher = serve.NewBatcher(s.pool, serve.BatchConfig{
+				Entry: "main", MaxBatch: *maxBatch, MaxDelay: *maxDelay,
+			})
+		}
+		s.toArgs = singleTensorArgs
+		log.Printf("serving mlp %d->%d (x%d)->%d: batch rows along dim 0",
+			m.Config.In, m.Config.Hidden, m.Config.Layers, m.Config.Out)
+
+	case "bert":
+		m := models.NewBERT(models.BERTReduced())
+		res, err := compiler.Compile(m.Module, compiler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.pool = mustPool(res, *workers)
+		// BERT attention mixes sequence positions: concatenating two
+		// requests' ids would change both answers, so no batcher here —
+		// per-request dispatch over the pool.
+		s.toArgs = singleTensorArgs
+		log.Printf("serving bert L=%d H=%d: dynamic sequence length, per-request dispatch",
+			m.Config.Layers, m.Config.Hidden)
+
+	case "lstm":
+		m := models.NewLSTM(models.DefaultLSTMConfig(1))
+		res, err := compiler.Compile(m.Module, compiler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.pool = mustPool(res, *workers)
+		nilTag, consTag, input := m.NilC.Tag, m.ConsC.Tag, m.Config.Input
+		s.toArgs = func(req invokeRequest) ([]vm.Object, error) {
+			if len(req.Seq) == 0 {
+				return nil, fmt.Errorf("lstm requests use {\"seq\": [tensor,...]}")
+			}
+			steps := make([]*tensor.Tensor, len(req.Seq))
+			for i, tj := range req.Seq {
+				t, err := toTensor(tj)
+				if err != nil {
+					return nil, fmt.Errorf("seq[%d]: %w", i, err)
+				}
+				if t.NumElements() != input {
+					return nil, fmt.Errorf("seq[%d]: model consumes %d features, got %d", i, input, t.NumElements())
+				}
+				r, err := t.Reshape(1, input)
+				if err != nil {
+					return nil, err
+				}
+				steps[i] = r
+			}
+			return []vm.Object{models.SequenceToList(nilTag, consTag, steps)}, nil
+		}
+		log.Printf("serving lstm in=%d hidden=%d: ADT list input, per-request dispatch",
+			m.Config.Input, m.Config.Hidden)
+
+	default:
+		log.Fatalf("unknown -model %q (mlp | lstm | bert)", *model)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke", s.handleInvoke)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	log.Printf("nimble-serve: model=%s workers=%d batch=%v listening on %s",
+		*model, *workers, s.batcher != nil, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func mustPool(res *compiler.Result, workers int) *serve.Pool {
+	p, err := serve.NewPool(res.Exe, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// singleTensorArgs adapts {"args":[tensor]} requests.
+func singleTensorArgs(req invokeRequest) ([]vm.Object, error) {
+	if len(req.Args) != 1 {
+		return nil, fmt.Errorf("this model takes exactly 1 tensor arg, got %d", len(req.Args))
+	}
+	t, err := toTensor(req.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Object{vm.NewTensorObj(t)}, nil
+}
+
+func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	// Kernels surface shape violations as panics; a malformed request must
+	// come back as a 500, not a dropped connection.
+	defer func() {
+		if rec := recover(); rec != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("execution panic: %v", rec))
+		}
+	}()
+	var req invokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Entry == "" {
+		req.Entry = "main"
+	}
+	args, err := s.toArgs(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	var out *tensor.Tensor
+	if s.batcher != nil && req.Entry == "main" && len(args) == 1 {
+		if to, ok := args[0].(*vm.TensorObj); ok && to.T.Rank() >= 1 {
+			out, err = s.batcher.Invoke(to.T)
+		}
+	}
+	if out == nil && err == nil {
+		var obj vm.Object
+		obj, err = s.pool.Invoke(req.Entry, args...)
+		if err == nil {
+			to, ok := obj.(*vm.TensorObj)
+			if !ok {
+				err = fmt.Errorf("entry %q returned %T, which does not serialize", req.Entry, obj)
+			} else {
+				out = to.T
+			}
+		}
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, invokeResponse{
+		Output:    fromTensor(out),
+		LatencyUS: float64(time.Since(start).Microseconds()),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"ok":         true,
+		"model":      s.model,
+		"workers":    s.pool.Size(),
+		"uptime_sec": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"pool": s.pool.Stats()}
+	if s.batcher != nil {
+		resp["batcher"] = s.batcher.Stats()
+	}
+	writeJSON(w, resp)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

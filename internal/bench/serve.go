@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nimble/internal/compiler"
+	"nimble/internal/models"
+	"nimble/internal/serve"
+	"nimble/internal/tensor"
+)
+
+// ServeConfig parameterizes the closed-loop serving benchmark.
+type ServeConfig struct {
+	// Workers is the session-pool size (0 = 8, matching the acceptance
+	// target of 4x single-session throughput at 8 workers).
+	Workers int
+	// Clients enumerates concurrent closed-loop client counts
+	// (default 1,2,4,8,16,32,64).
+	Clients []int
+	// Duration is the measured window per cell (default 400ms; the
+	// closed loop saturates quickly).
+	Duration time.Duration
+	// Seed drives input sampling.
+	Seed int64
+	// Batch enables the micro-batcher for the MLP rows.
+	Batch bool
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 400 * time.Millisecond
+	}
+	return c
+}
+
+// ServeRow is one (model, clients) measurement.
+type ServeRow struct {
+	Model    string
+	Workers  int
+	Clients  int
+	Requests int64
+	// Throughput is requests/second; TokensPerSec weights each request by
+	// its token count (sequence length, tree leaves, or batch rows).
+	Throughput   float64
+	TokensPerSec float64
+	P50, P99     time.Duration
+	// Speedup is this row's throughput over the same model's 1-client row.
+	Speedup float64
+	// Coalesced counts requests served by merged micro-batches (MLP only).
+	Coalesced int64
+}
+
+// ServeResult is the full sweep.
+type ServeResult struct {
+	Config ServeConfig
+	Rows   []ServeRow
+	Notes  []string
+}
+
+// Format renders the sweep as a table.
+func (r *ServeResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving throughput/latency (closed loop, %d workers, %v per cell)\n",
+		r.Config.Workers, r.Config.Duration)
+	fmt.Fprintf(&b, "%-10s %8s %10s %12s %14s %10s %10s %9s\n",
+		"model", "clients", "requests", "req/s", "tokens/s", "p50", "p99", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %8d %10d %12.0f %14.0f %10v %10v %8.2fx\n",
+			row.Model, row.Clients, row.Requests, row.Throughput, row.TokensPerSec,
+			row.P50.Round(time.Microsecond), row.P99.Round(time.Microsecond), row.Speedup)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// servedModel abstracts one benchmarked entry point: Invoke runs one
+// request by index and returns its token weight.
+type servedModel struct {
+	name   string
+	jobs   int
+	invoke func(job int) (int, error)
+	stats  func() (coalesced int64)
+}
+
+// Serve runs the closed-loop load generator: for each model and each
+// client count, N goroutines issue back-to-back requests against a shared
+// session pool for the configured duration; the sweep reports throughput,
+// token rate, and latency quantiles per cell.
+func Serve(cfg ServeConfig) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	result := &ServeResult{Config: cfg}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// BERT (dynamic data shapes): per-request dispatch over the pool.
+	bertCfg := models.BERTReduced()
+	bertCfg.Layers = 2
+	bert := models.NewBERT(bertCfg)
+	bertRes, err := compiler.Compile(bert.Module, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	bertPool, err := serve.NewPool(bertRes.Exe, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	bertIDs := make([]*tensor.Tensor, 32)
+	for i := range bertIDs {
+		bertIDs[i] = bert.RandomIDs(rng, 8+rng.Intn(41)) // ragged lengths 8..48
+	}
+	bertModel := servedModel{
+		name: "bert",
+		jobs: len(bertIDs),
+		invoke: func(job int) (int, error) {
+			ids := bertIDs[job%len(bertIDs)]
+			_, err := bertPool.InvokeTensors("main", ids)
+			return ids.NumElements(), err
+		},
+	}
+
+	// MLP (row-independent): micro-batched when cfg.Batch is set.
+	mlp := models.NewMLP(models.DefaultMLPConfig())
+	mlpRes, err := compiler.Compile(mlp.Module, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mlpPool, err := serve.NewPool(mlpRes.Exe, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	mlpInputs := make([]*tensor.Tensor, 32)
+	for i := range mlpInputs {
+		mlpInputs[i] = mlp.RandomBatch(rng, 1+rng.Intn(4))
+	}
+	mlpName := "mlp"
+	var batcher *serve.Batcher
+	if cfg.Batch {
+		mlpName = "mlp+batch"
+		batcher = serve.NewBatcher(mlpPool, serve.BatchConfig{Entry: "main", MaxBatch: 16})
+		defer batcher.Close()
+	}
+	mlpModel := servedModel{
+		name: mlpName,
+		jobs: len(mlpInputs),
+		invoke: func(job int) (int, error) {
+			in := mlpInputs[job%len(mlpInputs)]
+			var err error
+			if batcher != nil {
+				_, err = batcher.Invoke(in)
+			} else {
+				_, err = mlpPool.InvokeTensors("main", in)
+			}
+			return in.Shape()[0], err
+		},
+		stats: func() int64 {
+			if batcher == nil {
+				return 0
+			}
+			return batcher.Stats().Coalesced
+		},
+	}
+
+	for _, m := range []servedModel{bertModel, mlpModel} {
+		var base float64
+		var lastCoalesced int64
+		for _, clients := range cfg.Clients {
+			row, err := runServeCell(m, clients, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Workers = cfg.Workers
+			if clients == cfg.Clients[0] {
+				base = row.Throughput
+			}
+			if base > 0 {
+				row.Speedup = row.Throughput / base
+			}
+			if m.stats != nil {
+				c := m.stats()
+				row.Coalesced = c - lastCoalesced
+				lastCoalesced = c
+			}
+			result.Rows = append(result.Rows, row)
+		}
+	}
+	result.Notes = append(result.Notes,
+		fmt.Sprintf("bert: %d layers, hidden %d, ragged seq 8..48 (tokens/s counts sequence positions)", bertCfg.Layers, bertCfg.Hidden),
+		fmt.Sprintf("mlp: %d->%dx%d->%d rows 1..4 (tokens/s counts rows); batch=%v", mlp.Config.In, mlp.Config.Hidden, mlp.Config.Layers, mlp.Config.Out, cfg.Batch),
+		"speedup is vs the 1-client row of the same model on the same pool")
+	return result, nil
+}
+
+func runServeCell(m servedModel, clients int, cfg ServeConfig) (ServeRow, error) {
+	row := ServeRow{Model: m.name, Clients: clients}
+	var mu sync.Mutex
+	var lats []time.Duration
+	var tokens int64
+	var firstErr error
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local []time.Duration
+			var localTok int64
+			job := c
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				tok, err := m.invoke(job)
+				lat := time.Since(start)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, lat)
+				localTok += int64(tok)
+				job += clients
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			tokens += localTok
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return row, firstErr
+	}
+	if len(lats) == 0 {
+		return row, fmt.Errorf("bench: no requests completed for %s at %d clients", m.name, clients)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	row.Requests = int64(len(lats))
+	row.Throughput = float64(len(lats)) / cfg.Duration.Seconds()
+	row.TokensPerSec = float64(tokens) / cfg.Duration.Seconds()
+	row.P50 = lats[len(lats)/2]
+	row.P99 = lats[len(lats)*99/100]
+	return row, nil
+}

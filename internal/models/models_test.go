@@ -235,3 +235,42 @@ func TestCVModelsCompileAndRun(t *testing.T) {
 		}
 	}
 }
+
+func TestMLPCompilesAndIsRowIndependent(t *testing.T) {
+	m := NewMLP(MLPConfig{In: 8, Hidden: 16, Out: 4, Layers: 2, Seed: 45})
+	machine, _, err := compiler.CompileToVM(m.Module, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	batch := m.RandomBatch(rng, 5)
+	out, err := machine.InvokeTensors("main", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{5, 4}) {
+		t.Fatalf("output shape = %v", out.Shape())
+	}
+	// Row independence is the property the serving micro-batcher relies
+	// on: each row of the batched output must equal the model applied to
+	// that row alone.
+	for r := 0; r < 5; r++ {
+		rowData := make([]float32, m.Config.In)
+		copy(rowData, batch.F32()[r*m.Config.In:(r+1)*m.Config.In])
+		row := tensor.FromF32(rowData, 1, m.Config.In)
+		single, err := machine.InvokeTensors("main", row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < m.Config.Out; c++ {
+			got := out.At(r, c)
+			want := single.At(0, c)
+			if math.Abs(got-want) > 1e-5 {
+				t.Fatalf("row %d col %d: batched %v != single %v", r, c, got, want)
+			}
+		}
+	}
+	if m.BatchFlops(5) <= 0 {
+		t.Error("BatchFlops not positive")
+	}
+}

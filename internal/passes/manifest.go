@@ -242,48 +242,98 @@ func mergeAttrs(a, b ir.Attrs) ir.Attrs {
 	return out
 }
 
+// consumingUse reports whether a binding's value only *reads* its operand
+// tensors. Kernel-style calls (invoke_mut, shape functions, device_copy —
+// which clones) consume their inputs synchronously, so a buffer whose
+// uses are all consuming is dead after its last one. Everything else may
+// alias or retain the operand — an If/Match selects one branch var as its
+// value, a bare var binding is a move, tuples/ADTs/closures hold
+// references, reshape_tensor shares the source storage, and a function
+// call may return its own argument — so a use there keeps the buffer
+// alive indefinitely.
+func consumingUse(value ir.Expr) bool {
+	call, op := opCall(value)
+	if op == nil {
+		return false
+	}
+	switch op.Name {
+	case ir.OpInvokeMut, ir.OpShapeOf, ir.OpInvokeShapeFunc, ir.OpDeviceCopy, ir.OpKill:
+		return true
+	case ir.OpReshapeTensor, ir.OpAllocTensor, ir.OpAllocTensorReg, ir.OpAllocStorage:
+		return false
+	}
+	// A remaining primitive operator call evaluates its kernel over the
+	// inputs; synthesized fused operators behave the same way.
+	_ = call
+	return op.Eval != nil
+}
+
 // insertKills adds kill(v) after the last top-level use of every
 // invoke_mut-produced tensor that does not escape the chain, freeing
 // buffers "before their reference count becomes zero due to exiting the
 // frame" (§4.3) so storage coalescing and the runtime pool can reuse them.
+//
+// Only buffers whose every use is a consuming read are killable: a use in
+// an aliasing position (see consumingUse) publishes the buffer beyond its
+// binding, and coalescing a storage that an alias still reads miscompiles
+// the program (the differential fuzzer caught exactly this: an If-selected
+// dense output was recycled as the destination of a later transpose).
+// Kills are inserted in binding order so compilation is deterministic —
+// serialized executables are byte-stable run over run.
 func insertKills(bs []binding, result ir.Expr, stats *AllocStats) []binding {
 	produced := map[*ir.Var]bool{}
+	var producedOrder []*ir.Var
 	for _, b := range bs {
 		if _, op := opCall(b.value); op != nil && op.Name == ir.OpInvokeMut {
 			produced[b.v] = true
+			producedOrder = append(producedOrder, b.v)
 		}
 	}
 	if len(produced) == 0 {
 		return bs
 	}
-	// A var used by the result expression (or inside nested sub-chains of
-	// any binding) escapes its position; we track last top-level use index.
+	// Track the last top-level use index of every produced var, and mark
+	// vars with any non-consuming use as escaping.
 	lastUse := map[*ir.Var]int{}
+	escapes := map[*ir.Var]bool{}
 	for i, b := range bs {
+		consuming := consumingUse(b.value)
 		for _, v := range ir.FreeVars(b.value) {
 			if produced[v] {
 				lastUse[v] = i
+				if !consuming {
+					escapes[v] = true
+				}
 			}
 		}
 	}
-	escapes := map[*ir.Var]bool{}
 	for _, v := range ir.FreeVars(result) {
 		escapes[v] = true
 	}
 
+	// Group killable vars by their last-use binding, preserving production
+	// order within each site.
+	killsAt := map[int][]*ir.Var{}
+	for _, v := range producedOrder {
+		i, used := lastUse[v]
+		if !used || escapes[v] {
+			continue
+		}
+		killsAt[i] = append(killsAt[i], v)
+	}
 	var out []binding
 	killCounter := 0
 	for i, b := range bs {
 		out = append(out, b)
-		for v := range produced {
-			if lastUse[v] == i && !escapes[v] && v != b.v {
-				killCounter++
-				kv := ir.NewVar(fmt.Sprintf("kill%d", killCounter), nil)
-				out = append(out, binding{v: kv, value: callDialect(ir.OpKill, []ir.Expr{v}, nil)})
-				if stats != nil {
-					stats.Kills++
-				}
-				delete(produced, v)
+		for _, v := range killsAt[i] {
+			if v == b.v {
+				continue
+			}
+			killCounter++
+			kv := ir.NewVar(fmt.Sprintf("kill%d", killCounter), nil)
+			out = append(out, binding{v: kv, value: callDialect(ir.OpKill, []ir.Expr{v}, nil)})
+			if stats != nil {
+				stats.Kills++
 			}
 		}
 	}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nimble/internal/kernels"
+	"nimble/internal/tensor"
+)
+
+// BatchConfig parameterizes a Batcher.
+type BatchConfig struct {
+	// Entry is the executable function the batcher serves. It MUST be
+	// row-independent along its leading dimension (an MLP/classifier head
+	// over [batch, features], not a BERT sequence whose positions attend to
+	// each other): the batcher concatenates requests along dim 0 and slices
+	// the result back apart, which is only a semantics-preserving rewrite
+	// when rows do not interact.
+	Entry string
+	// MaxBatch bounds how many requests one dispatch may coalesce
+	// (default 8).
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company (default 200µs). Zero keeps the default; batching trades this
+	// much worst-case latency for kernel-level throughput.
+	MaxDelay time.Duration
+	// QueueCap bounds the request queue (default 4 * MaxBatch).
+	QueueCap int
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	return c
+}
+
+type batchReq struct {
+	in   *tensor.Tensor
+	resp chan batchResp
+}
+
+type batchResp struct {
+	out *tensor.Tensor
+	err error
+}
+
+// Batcher coalesces concurrent single-tensor requests to one batchable
+// entry point into fewer, larger kernel dispatches: pad-free concatenation
+// along the leading dimension when trailing dimensions and dtype agree,
+// per-request fallback for ragged shapes — the paper's dynamic workloads
+// never pay padding waste. One collector goroutine groups requests; each
+// group is dispatched on its own goroutine so the pool, not the collector,
+// is the concurrency limit.
+type Batcher struct {
+	pool  *Pool
+	cfg   BatchConfig
+	queue chan *batchReq
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// closeMu serializes Invoke's enqueue against Close: once closed is
+	// set no new request can enter the queue, so the collector's final
+	// drain provably answers every accepted request.
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu sync.Mutex
+	// stats, guarded by mu.
+	batches   int64 // dispatches that merged >= 2 requests
+	singles   int64 // dispatches of exactly one request
+	coalesced int64 // requests served by merged dispatches
+	fallbacks int64 // requests re-dispatched per-request after a batched failure
+	largest   int   // largest merged batch
+}
+
+// NewBatcher starts a batcher over the pool. Close releases its collector.
+func NewBatcher(pool *Pool, cfg BatchConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		pool:  pool,
+		cfg:   cfg,
+		queue: make(chan *batchReq, cfg.QueueCap),
+		done:  make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.collect()
+	return b
+}
+
+// Invoke submits one request and blocks for its result. The input must be
+// a tensor of rank >= 1 whose leading dimension is the request's row count.
+func (b *Batcher) Invoke(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in == nil || in.Rank() == 0 {
+		return nil, fmt.Errorf("serve: batchable entry %q requires a rank>=1 tensor input", b.cfg.Entry)
+	}
+	r := &batchReq{in: in, resp: make(chan batchResp, 1)}
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
+		return nil, fmt.Errorf("serve: batcher is closed")
+	}
+	b.queue <- r
+	b.closeMu.RUnlock()
+	resp := <-r.resp
+	return resp.out, resp.err
+}
+
+// Close stops the collector; requests already accepted are still
+// dispatched and answered. Idempotent.
+func (b *Batcher) Close() {
+	b.closeMu.Lock()
+	if b.closed {
+		b.closeMu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.done)
+	b.closeMu.Unlock()
+	b.wg.Wait()
+}
+
+// collect is the scheduler loop: take one request, wait at most MaxDelay
+// for up to MaxBatch-1 more, then dispatch compatible groups.
+func (b *Batcher) collect() {
+	defer b.wg.Done()
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.queue:
+		case <-b.done:
+			b.drain()
+			return
+		}
+		batch := []*batchReq{first}
+		timer := time.NewTimer(b.cfg.MaxDelay)
+	gather:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.queue:
+				batch = append(batch, r)
+			case <-timer.C:
+				break gather
+			case <-b.done:
+				break gather
+			}
+		}
+		timer.Stop()
+		for _, group := range groupCompatible(batch) {
+			g := group
+			b.wg.Add(1)
+			go b.dispatch(g)
+		}
+		select {
+		case <-b.done:
+			b.drain()
+			return
+		default:
+		}
+	}
+}
+
+// drain serves whatever is still queued at Close time, per-request.
+func (b *Batcher) drain() {
+	for {
+		select {
+		case r := <-b.queue:
+			b.wg.Add(1)
+			go b.dispatch([]*batchReq{r})
+		default:
+			return
+		}
+	}
+}
+
+// batchKey identifies concat-compatibility: same dtype, same rank, same
+// trailing extents. Shapes that differ only in the leading dimension share
+// a key and concatenate with zero padding.
+func batchKey(t *tensor.Tensor) string {
+	return fmt.Sprintf("%d|%v", t.DType(), t.Shape()[1:])
+}
+
+// groupCompatible partitions a batch into pad-free concatenation groups,
+// preserving arrival order within each group.
+func groupCompatible(batch []*batchReq) [][]*batchReq {
+	if len(batch) == 1 {
+		return [][]*batchReq{batch}
+	}
+	var order []string
+	groups := map[string][]*batchReq{}
+	for _, r := range batch {
+		k := batchKey(r.in)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	out := make([][]*batchReq, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// dispatch runs one compatible group: a merged invocation when the group
+// has company, with a per-request fallback if the merged run fails or the
+// entry turns out not to be row-separable for these inputs. It runs on its
+// own goroutine (tracked by b.wg so Close waits for accepted requests);
+// kernel panics — shape violations surface as panics, not errors — are
+// converted into per-request error responses instead of killing the
+// process.
+func (b *Batcher) dispatch(group []*batchReq) {
+	defer b.wg.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			err := fmt.Errorf("serve: entry %q panicked: %v", b.cfg.Entry, rec)
+			for _, r := range group {
+				select {
+				case r.resp <- batchResp{err: err}:
+				default: // already answered before the panic
+				}
+			}
+		}
+	}()
+	if len(group) == 1 {
+		out, err := b.pool.InvokeTensors(b.cfg.Entry, group[0].in)
+		b.mu.Lock()
+		b.singles++
+		b.mu.Unlock()
+		group[0].resp <- batchResp{out: out, err: err}
+		return
+	}
+	ins := make([]*tensor.Tensor, len(group))
+	rows := 0
+	for i, r := range group {
+		ins[i] = r.in
+		rows += r.in.Shape()[0]
+	}
+	merged := kernels.Concat(ins, 0)
+	out, err := b.pool.InvokeTensors(b.cfg.Entry, merged)
+	if err == nil && (out.Rank() == 0 || out.Shape()[0] != rows) {
+		// The entry did not map rows to rows — it is not batchable for
+		// these inputs. Re-dispatching per request preserves semantics.
+		err = fmt.Errorf("serve: entry %q returned %v for %d batched rows; not row-separable",
+			b.cfg.Entry, out.Shape(), rows)
+	}
+	if err != nil {
+		b.mu.Lock()
+		b.fallbacks += int64(len(group))
+		b.mu.Unlock()
+		for _, r := range group {
+			o, e := b.pool.InvokeTensors(b.cfg.Entry, r.in)
+			r.resp <- batchResp{out: o, err: e}
+		}
+		return
+	}
+	b.mu.Lock()
+	b.batches++
+	b.coalesced += int64(len(group))
+	if len(group) > b.largest {
+		b.largest = len(group)
+	}
+	b.mu.Unlock()
+	lo := 0
+	for _, r := range group {
+		hi := lo + r.in.Shape()[0]
+		r.resp <- batchResp{out: kernels.Slice(out, 0, lo, hi)}
+		lo = hi
+	}
+}
+
+// BatchStats is a snapshot of batcher counters.
+type BatchStats struct {
+	Entry        string `json:"entry"`
+	MaxBatch     int    `json:"max_batch"`
+	Batches      int64  `json:"batches"`
+	Singles      int64  `json:"singles"`
+	Coalesced    int64  `json:"coalesced_requests"`
+	Fallbacks    int64  `json:"fallback_requests"`
+	LargestBatch int    `json:"largest_batch"`
+}
+
+// Stats snapshots the batcher counters.
+func (b *Batcher) Stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatchStats{
+		Entry:        b.cfg.Entry,
+		MaxBatch:     b.cfg.MaxBatch,
+		Batches:      b.batches,
+		Singles:      b.singles,
+		Coalesced:    b.coalesced,
+		Fallbacks:    b.fallbacks,
+		LargestBatch: b.largest,
+	}
+}

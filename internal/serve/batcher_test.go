@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nimble/internal/models"
+	"nimble/internal/tensor"
+)
+
+func newBatcherUnderTest(t *testing.T, maxBatch int, delay time.Duration) (*models.MLP, *Pool, *Batcher) {
+	t.Helper()
+	m, res := compileMLP(t)
+	p, err := NewPool(res.Exe, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(p, BatchConfig{Entry: "main", MaxBatch: maxBatch, MaxDelay: delay})
+	t.Cleanup(b.Close)
+	return m, p, b
+}
+
+func TestBatcherMatchesPerRequest(t *testing.T) {
+	m, p, b := newBatcherUnderTest(t, 8, 2*time.Millisecond)
+	rng := rand.New(rand.NewSource(11))
+	const n = 32
+	inputs := make([]*tensor.Tensor, n)
+	want := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = m.RandomBatch(rng, 1+i%3)
+		var err error
+		want[i], err = p.InvokeTensors("main", inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.Invoke(inputs[i])
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			if !out.Shape().Equal(want[i].Shape()) {
+				t.Errorf("request %d: shape %v, want %v", i, out.Shape(), want[i].Shape())
+				return
+			}
+			if !out.AllClose(want[i], 1e-5, 1e-6) {
+				t.Errorf("request %d: batched output differs from per-request output", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Coalesced == 0 {
+		t.Errorf("no requests were coalesced under concurrent load: %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Errorf("row-separable entry fell back %d times", st.Fallbacks)
+	}
+	if st.LargestBatch > 8 {
+		t.Errorf("batch of %d exceeds MaxBatch", st.LargestBatch)
+	}
+}
+
+func TestBatcherRaggedInputsStayPadFree(t *testing.T) {
+	// Requests whose trailing dims disagree must not be concatenated (that
+	// would require padding); they form separate dispatch groups.
+	reqs := []*batchReq{
+		{in: tensor.New(tensor.Float32, 2, 16)},
+		{in: tensor.New(tensor.Float32, 1, 16)},
+		{in: tensor.New(tensor.Float32, 2, 8)},
+		{in: tensor.New(tensor.Float32, 3, 16)},
+		{in: tensor.New(tensor.Int64, 2, 16)},
+	}
+	groups := groupCompatible(reqs)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3 (f32x16, f32x8, i64x16)", len(groups))
+	}
+	if len(groups[0]) != 3 {
+		t.Errorf("f32 [·,16] group has %d members, want 3", len(groups[0]))
+	}
+	// Arrival order is preserved within a group.
+	if groups[0][0] != reqs[0] || groups[0][1] != reqs[1] || groups[0][2] != reqs[3] {
+		t.Error("group does not preserve arrival order")
+	}
+}
+
+func TestBatcherRejectsScalar(t *testing.T) {
+	_, _, b := newBatcherUnderTest(t, 4, time.Millisecond)
+	if _, err := b.Invoke(tensor.Scalar(1)); err == nil {
+		t.Error("scalar input accepted by batcher")
+	}
+	if _, err := b.Invoke(nil); err == nil {
+		t.Error("nil input accepted by batcher")
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	m, _, b := newBatcherUnderTest(t, 4, time.Millisecond)
+	in := m.RandomBatch(rand.New(rand.NewSource(2)), 1)
+	if _, err := b.Invoke(in); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := b.Invoke(in); err == nil {
+		t.Error("Invoke on closed batcher succeeded")
+	}
+}
+
+func TestBatcherConvertsKernelPanicToError(t *testing.T) {
+	// A request with the wrong feature width passes the rank check but
+	// blows up inside the dense kernel (shape violations surface as
+	// panics). The batcher must answer with an error — on every request of
+	// the group — rather than letting the panic kill the process.
+	m, p, b := newBatcherUnderTest(t, 4, time.Millisecond)
+	bad := tensor.New(tensor.Float32, 1, 7) // model expects 16 features
+	if _, err := b.Invoke(bad); err == nil {
+		t.Fatal("mis-shaped request did not error")
+	}
+	// The batcher and pool keep serving afterwards.
+	good := m.RandomBatch(rand.New(rand.NewSource(4)), 2)
+	if _, err := b.Invoke(good); err != nil {
+		t.Fatalf("batcher wedged after panic: %v", err)
+	}
+	if st := p.Stats(); st.InFlight != 0 {
+		t.Errorf("session leaked after panic: %+v", st)
+	}
+}
+
+func TestBatcherCloseAnswersAcceptedRequests(t *testing.T) {
+	// Close must wait for accepted requests: a client blocked in Invoke
+	// when Close lands still gets an answer, not a stranded channel read.
+	m, _, b := newBatcherUnderTest(t, 8, 50*time.Millisecond)
+	in := m.RandomBatch(rand.New(rand.NewSource(8)), 1)
+	const n = 6
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := b.Invoke(in)
+			errs <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let requests enter the queue
+	b.Close()
+	answered := 0
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			// A goroutine that lost the race to Close gets a clean
+			// "closed" rejection; one that was accepted must succeed.
+			if err == nil {
+				answered++
+			} else if !strings.Contains(err.Error(), "closed") {
+				t.Errorf("accepted request got error after Close: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("request stranded by Close")
+		}
+	}
+	if answered == 0 {
+		t.Error("no queued request was answered across Close")
+	}
+}

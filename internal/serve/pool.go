@@ -1,0 +1,216 @@
+// Package serve is Nimble's concurrent serving runtime. The paper's
+// compile-once VM makes dynamic models servable; this package makes them
+// serve concurrent traffic: one frozen vm.Executable (weights, bytecode,
+// kernel table — all immutable) is shared by a pool of vm.VM sessions, each
+// owning the mutable per-execution state (storage pool, frames, scratch,
+// profiler). Requests check a session out, run, and return it; a
+// micro-batcher (Batcher) additionally coalesces compatible requests for
+// batchable entry points so one kernel dispatch serves many clients.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// Session is one checked-out execution context over the pool's shared
+// executable. A session must be used by at most one goroutine between
+// Acquire and Release; its storage pool and frame recycler carry over
+// between invocations, so repeated requests on one session reuse memory
+// exactly like the single-VM hot path.
+type Session struct {
+	machine *vm.VM
+	id      int
+	// invocations counts Invoke calls served by this session. Atomic:
+	// increments happen on the goroutine holding the session while Stats
+	// may read concurrently from another.
+	invocations atomic.Int64
+}
+
+// Invoke runs the named entry function on this session.
+func (s *Session) Invoke(name string, args ...vm.Object) (vm.Object, error) {
+	s.invocations.Add(1)
+	return s.machine.Invoke(name, args...)
+}
+
+// InvokeTensors is the tensors-in, tensor-out convenience form.
+func (s *Session) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+	s.invocations.Add(1)
+	return s.machine.InvokeTensors(name, args...)
+}
+
+// ID returns the session's index within its pool.
+func (s *Session) ID() int { return s.id }
+
+// Pool shares one immutable executable across nWorkers VM sessions with
+// LIFO checkout: the most recently released session is handed out first,
+// so under light load a few hot sessions serve everything and their
+// storage pools and frame recyclers stay cache-resident; cold sessions
+// are only touched when concurrency actually demands them.
+type Pool struct {
+	exe *vm.Executable
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   []*Session // LIFO stack
+	all    []*Session
+	closed bool
+
+	// stats. inFlight/peakInUse/waits/waitTime piggyback on the checkout
+	// lock; invocations/errors are atomic so the result path does not take
+	// the pool mutex a third time per request.
+	invocations atomic.Int64
+	errors      atomic.Int64
+	inFlight    int
+	peakInUse   int
+	waits       int64 // acquires that found the stack empty and blocked
+	waitTime    time.Duration
+}
+
+// NewPool freezes exe and builds nWorkers sessions over it. The executable
+// must be fully constructed (compiled, or deserialized and linked) before
+// pooling; Freeze makes any later mutation a panic instead of a data race.
+func NewPool(exe *vm.Executable, nWorkers int) (*Pool, error) {
+	if nWorkers <= 0 {
+		return nil, fmt.Errorf("serve: pool needs at least 1 worker, got %d", nWorkers)
+	}
+	if len(exe.KernelNames) > 0 {
+		// Surface unlinked kernels at pool construction, not first request.
+		if _, err := exe.Kernel(0); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	exe.Freeze()
+	p := &Pool{exe: exe}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < nWorkers; i++ {
+		m := vm.New(exe)
+		m.MarkPooled()
+		s := &Session{machine: m, id: i}
+		p.all = append(p.all, s)
+		p.free = append(p.free, s)
+	}
+	return p, nil
+}
+
+// Executable returns the shared (frozen) executable.
+func (p *Pool) Executable() *vm.Executable { return p.exe }
+
+// Size returns the number of sessions the pool owns.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Acquire checks out a session, blocking until one is free. It returns an
+// error only when the pool has been closed.
+func (p *Pool) Acquire() (*Session, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 && !p.closed {
+		p.waits++
+		start := time.Now()
+		for len(p.free) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		p.waitTime += time.Since(start)
+	}
+	if p.closed {
+		return nil, fmt.Errorf("serve: pool is closed")
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inFlight++
+	if p.inFlight > p.peakInUse {
+		p.peakInUse = p.inFlight
+	}
+	return s, nil
+}
+
+// Release returns a session to the pool's LIFO stack.
+func (p *Pool) Release(s *Session) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.inFlight--
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Invoke checks out a session, runs the entry function, and returns the
+// session before reporting the result. Safe for any number of concurrent
+// callers; calls beyond the pool size queue on the checkout.
+func (p *Pool) Invoke(name string, args ...vm.Object) (vm.Object, error) {
+	s, err := p.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	// Release via defer: a panicking kernel (shape violation surfaced at
+	// dispatch) must not leak the session out of the pool.
+	defer p.Release(s)
+	out, err := s.Invoke(name, args...)
+	p.note(err)
+	return out, err
+}
+
+// InvokeTensors is the tensors-in, tensor-out form of Invoke.
+func (p *Pool) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+	s, err := p.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release(s)
+	out, err := s.InvokeTensors(name, args...)
+	p.note(err)
+	return out, err
+}
+
+func (p *Pool) note(err error) {
+	p.invocations.Add(1)
+	if err != nil {
+		p.errors.Add(1)
+	}
+}
+
+// Close marks the pool closed; blocked and future Acquires fail. Sessions
+// already checked out may finish and Release normally.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Workers     int           `json:"workers"`
+	Invocations int64         `json:"invocations"`
+	Errors      int64         `json:"errors"`
+	InFlight    int           `json:"in_flight"`
+	PeakInUse   int           `json:"peak_in_use"`
+	Waits       int64         `json:"waits"`
+	WaitTime    time.Duration `json:"wait_time_ns"`
+	// PerSession lists invocation counts by session id; a steep skew
+	// toward low ids is the LIFO policy working as intended.
+	PerSession []int64 `json:"per_session"`
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Workers:     len(p.all),
+		Invocations: p.invocations.Load(),
+		Errors:      p.errors.Load(),
+		InFlight:    p.inFlight,
+		PeakInUse:   p.peakInUse,
+		Waits:       p.waits,
+		WaitTime:    p.waitTime,
+	}
+	for _, s := range p.all {
+		st.PerSession = append(st.PerSession, s.invocations.Load())
+	}
+	return st
+}

@@ -34,6 +34,15 @@ type VMFunc struct {
 // InvokePacked; their implementations (Go closures over the kernel library)
 // are bound either at compile time or, after deserialization, by LinkKernels
 // using the kernel names.
+//
+// An executable has two phases. During construction (compile or
+// deserialize+link) it is mutated by Add*/LinkKernels on one goroutine.
+// Once Freeze is called it becomes an immutable shared artifact: every
+// field is read-only, so any number of VMs — one per serving session — can
+// execute it concurrently without synchronization. The VM never writes
+// through the executable: constants are shared by reference under the §5.2
+// copy-on-write discipline, and per-run caches (resolved kernel table,
+// profiler, storage pool, frames) live in the VM session.
 type Executable struct {
 	// Funcs lists compiled functions; FuncIndex maps names to indices.
 	Funcs     []VMFunc
@@ -47,6 +56,9 @@ type Executable struct {
 	KernelNames []string
 
 	kernels []PackedFunc
+	// frozen marks the executable immutable; set by Freeze when the first
+	// serving pool adopts it. Construction-phase mutators panic afterwards.
+	frozen bool
 }
 
 // NewExecutable creates an empty executable.
@@ -54,8 +66,24 @@ func NewExecutable() *Executable {
 	return &Executable{FuncIndex: map[string]int{}}
 }
 
+// Freeze seals the executable: construction-phase mutators (AddFunc,
+// AddConst, AddKernel, LinkKernels) panic or error from now on. Freezing is
+// idempotent and is how a serving pool asserts the artifact it shares
+// across sessions cannot change underneath them.
+func (e *Executable) Freeze() { e.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (e *Executable) Frozen() bool { return e.frozen }
+
+func (e *Executable) mutCheck(op string) {
+	if e.frozen {
+		panic(fmt.Sprintf("vm: %s on frozen executable (it is shared by a session pool)", op))
+	}
+}
+
 // AddFunc appends a function descriptor and returns its index.
 func (e *Executable) AddFunc(f VMFunc) int {
+	e.mutCheck("AddFunc")
 	idx := len(e.Funcs)
 	e.Funcs = append(e.Funcs, f)
 	e.FuncIndex[f.Name] = idx
@@ -64,12 +92,14 @@ func (e *Executable) AddFunc(f VMFunc) int {
 
 // AddConst appends a tensor to the constant pool and returns its index.
 func (e *Executable) AddConst(t *tensor.Tensor) int {
+	e.mutCheck("AddConst")
 	e.Consts = append(e.Consts, t)
 	return len(e.Consts) - 1
 }
 
 // AddKernel appends a named kernel and returns its index.
 func (e *Executable) AddKernel(name string, fn PackedFunc) int {
+	e.mutCheck("AddKernel")
 	e.KernelNames = append(e.KernelNames, name)
 	e.kernels = append(e.kernels, fn)
 	return len(e.kernels) - 1
@@ -91,6 +121,9 @@ func (e *Executable) Kernel(idx int) (PackedFunc, error) {
 // named kernel must resolve; a missing kernel is a deployment error surfaced
 // immediately rather than at first dispatch.
 func (e *Executable) LinkKernels(registry map[string]PackedFunc) error {
+	if e.frozen {
+		return fmt.Errorf("vm: LinkKernels on frozen executable (link before pooling)")
+	}
 	e.kernels = make([]PackedFunc, len(e.KernelNames))
 	for i, name := range e.KernelNames {
 		fn, ok := registry[name]

@@ -1,0 +1,147 @@
+package vm_test
+
+// Serialization conformance over the paper's three dynamic models. Two
+// properties are pinned:
+//
+//  1. Round-trip fidelity: serialize → deserialize → re-serialize is
+//     byte-identical, and the relinked executable computes the same
+//     outputs as the original.
+//  2. Format stability: the serialized bytes of a fixed-seed compile hash
+//     to a checked-in golden value, so any change to the compiler
+//     pipeline's output or the wire format shows up as an explicit diff
+//     of this file rather than a silent drift. (This also pins compile
+//     determinism itself — the memory planner once emitted kills in map
+//     order, which made executables differ run over run.)
+//
+// If a change intentionally alters the format or compile output: bump the
+// serialize version if the wire format changed, rerun with
+// -run TestSerializeGolden -v to print the new hashes, and update the
+// table in the same commit.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"nimble/internal/compiler"
+	"nimble/internal/models"
+	"nimble/internal/vm"
+)
+
+type goldenModel struct {
+	name string
+	hash string
+	// build compiles a fresh module (compilation mutates modules, so each
+	// call constructs anew) and returns entry arguments for the output
+	// comparison.
+	build func(t *testing.T) (*compiler.Result, []vm.Object)
+}
+
+func goldenModels() []goldenModel {
+	return []goldenModel{
+		{
+			name: "lstm",
+			hash: "1ba7ee49ae70c348e1c2c6a4adfb211e8d0dd0e33c8fb3d0d6dfba9191b91fea",
+			build: func(t *testing.T) (*compiler.Result, []vm.Object) {
+				m := models.NewLSTM(models.LSTMConfig{Input: 16, Hidden: 24, Layers: 2, Seed: 42})
+				res, err := compiler.Compile(m.Module, compiler.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := m.RandomSequence(rand.New(rand.NewSource(1)), 5)
+				return res, []vm.Object{seq}
+			},
+		},
+		{
+			name: "treelstm",
+			hash: "a8c68f32e142c305c060ddf47b84ed69546ae89e9a69859ce9d2c15124658377",
+			build: func(t *testing.T) (*compiler.Result, []vm.Object) {
+				m := models.NewTreeLSTM(models.TreeLSTMConfig{Input: 12, Hidden: 10, Seed: 43})
+				res, err := compiler.Compile(m.Module, compiler.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree := models.RandomTree(rand.New(rand.NewSource(2)), 6, 12)
+				return res, []vm.Object{m.ToObject(tree)}
+			},
+		},
+		{
+			name: "bert",
+			hash: "e30de4e3bbc262b07e076adc028052df454b65cc6632c9f01297d07e55dae41c",
+			build: func(t *testing.T) (*compiler.Result, []vm.Object) {
+				m := models.NewBERT(models.BERTConfig{Layers: 1, Hidden: 32, Heads: 2, FFN: 64, Vocab: 128, MaxSeq: 32, Seed: 44})
+				res, err := compiler.Compile(m.Module, compiler.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids := m.RandomIDs(rand.New(rand.NewSource(3)), 7)
+				return res, []vm.Object{vm.NewTensorObj(ids)}
+			},
+		},
+	}
+}
+
+func serializeBytes(t *testing.T, e *vm.Executable) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSerializeGolden(t *testing.T) {
+	for _, gm := range goldenModels() {
+		gm := gm
+		t.Run(gm.name, func(t *testing.T) {
+			res, args := gm.build(t)
+			raw := serializeBytes(t, res.Exe)
+
+			sum := sha256.Sum256(raw)
+			got := hex.EncodeToString(sum[:])
+			t.Logf("%s: %d bytes, sha256 %s", gm.name, len(raw), got)
+			if got != gm.hash {
+				t.Errorf("%s: serialized executable hash drifted:\n  got  %s\n  want %s\n"+
+					"either the wire format or the compiler's output changed; if intentional, update the golden table",
+					gm.name, got, gm.hash)
+			}
+
+			// A second fresh compile must serialize identically: compile
+			// determinism is a precondition for the golden hash to mean
+			// anything.
+			res2, _ := gm.build(t)
+			if !bytes.Equal(raw, serializeBytes(t, res2.Exe)) {
+				t.Errorf("%s: two fresh compiles serialize differently (nondeterministic pipeline)", gm.name)
+			}
+
+			// Round trip: deserialize, re-serialize byte-identically.
+			back, err := vm.ReadExecutable(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, serializeBytes(t, back)) {
+				t.Errorf("%s: re-serialization after round trip is not byte-identical", gm.name)
+			}
+
+			// Relink and compare outputs against the original executable.
+			if err := back.LinkKernels(res.Registry); err != nil {
+				t.Fatal(err)
+			}
+			origOut, err := vm.New(res.Exe).Invoke("main", args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backOut, err := vm.New(back).Invoke("main", args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := origOut.(*vm.TensorObj).T
+			gotT := backOut.(*vm.TensorObj).T
+			if !gotT.Equal(want) {
+				t.Errorf("%s: deserialized executable computes different outputs", gm.name)
+			}
+		})
+	}
+}

@@ -11,8 +11,19 @@ import (
 
 // VM is an interpreter instance over a loaded executable. "When execution
 // begins, the interpreter runs a dispatch loop which checks the op-code and
-// executes the appropriate logic, then repeats" (§5.2). A VM is not safe for
-// concurrent use; create one per goroutine (they share the executable).
+// executes the appropriate logic, then repeats" (§5.2).
+//
+// # Session model
+//
+// A VM is a session: it owns mutable per-execution state — the runtime
+// storage pool, recycled frames and scratch slices, the resolved kernel
+// table, and the optional profiler — and is therefore NOT safe for
+// concurrent use. The Executable underneath it is the opposite: once
+// frozen it is immutable, so any number of VMs may share one executable
+// and run in parallel, one VM per goroutine. internal/serve wraps this
+// pattern as a checkout pool (serve.NewPool); a VM handed to a pool is
+// marked pooled and rejects configuration mutators (SetProfiler,
+// DisablePool), which must be called before check-in.
 type VM struct {
 	exe  *Executable
 	prof *Profiler
@@ -37,6 +48,10 @@ type VM struct {
 	tensorScratch []*tensor.Tensor
 	// keepScratch is releaseFrame's reusable escape set.
 	keepScratch map[*Storage]bool
+	// pooled marks the VM as checked into a session pool; configuration
+	// mutators panic afterwards because another goroutine may hold the
+	// session between the caller's observations.
+	pooled bool
 }
 
 // New creates a VM over exe with the runtime storage pool enabled.
@@ -44,12 +59,30 @@ func New(exe *Executable) *VM {
 	return &VM{exe: exe, pool: newStoragePool(), maxDepth: 1 << 20, keepScratch: map[*Storage]bool{}}
 }
 
-// SetProfiler attaches (or detaches, with nil) a profiler.
-func (vm *VM) SetProfiler(p *Profiler) { vm.prof = p }
+// SetProfiler attaches (or detaches, with nil) a profiler. It must be
+// called before the VM is checked into a session pool: afterwards the
+// session may be executing on another goroutine, so the mutation panics.
+func (vm *VM) SetProfiler(p *Profiler) {
+	if vm.pooled {
+		panic("vm: SetProfiler on a pooled VM; attach the profiler before NewPool adopts the session")
+	}
+	vm.prof = p
+}
 
 // DisablePool turns off runtime storage reuse (for the memory-planning
-// ablation: every AllocStorage then hits the Go allocator).
-func (vm *VM) DisablePool() { vm.pool = nil }
+// ablation: every AllocStorage then hits the Go allocator). Like
+// SetProfiler it panics once the VM belongs to a session pool.
+func (vm *VM) DisablePool() {
+	if vm.pooled {
+		panic("vm: DisablePool on a pooled VM; configure the session before NewPool adopts it")
+	}
+	vm.pool = nil
+}
+
+// MarkPooled transitions the VM into the pooled phase: configuration
+// mutators panic from now on. Called by internal/serve when a session is
+// adopted by a pool; the transition is one-way.
+func (vm *VM) MarkPooled() { vm.pooled = true }
 
 // Invoke runs the named function on args and returns its result.
 func (vm *VM) Invoke(name string, args ...Object) (Object, error) {
