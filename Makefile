@@ -7,14 +7,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench bench-full serve-bench ci
+.PHONY: all build vet test race api-check fuzz-smoke bench bench-full serve-bench ci
 
 all: build vet test
 
-# Race-detect the serving runtime and the packages that shard work onto
+# Race-detect the public API (cancellation semantics live in the root
+# package), the serving runtime, and the packages that shard work onto
 # the worker pool (16-goroutine shared-executable tests live in vm/serve).
 race:
-	$(GO) test -race ./internal/serve ./internal/vm ./internal/runtime ./internal/kernels ./internal/conformance
+	$(GO) test -race . ./internal/serve ./internal/vm ./internal/runtime ./internal/kernels ./internal/conformance
+
+# The API boundary gates: no nimble/internal/... import outside internal/,
+# and the exported surface matches testdata/api.golden.
+api-check:
+	@bad=$$(grep -rn '"nimble/internal/' cmd examples --include='*.go' || true); \
+	if [ -n "$$bad" ]; then echo "internal imports outside internal/:"; echo "$$bad"; exit 1; fi
+	$(GO) test . -run 'APISurfaceLock|NoInternalImports'
 
 # 30-second differential fuzz: compiled VM vs eager reference on random
 # IR programs. Counterexamples land in internal/conformance/testdata.
@@ -43,4 +51,4 @@ bench-full:
 serve-bench:
 	$(GO) run ./cmd/nimble-bench -serve -serve-workers 8
 
-ci: all race bench
+ci: all race api-check bench

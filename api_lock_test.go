@@ -1,0 +1,199 @@
+package nimble_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.golden from the current surface")
+
+// TestAPISurfaceLock pins the exported surface of the public packages
+// (nimble, nimble/ir, nimble/tensor, nimble/models, nimble/bench): every
+// exported const, var, func, type, and method signature is dumped into a
+// golden file. An accidental export change — rename, signature drift,
+// removal — fails here; a deliberate one is recorded with
+//
+//	go test . -run APISurfaceLock -update-api
+func TestAPISurfaceLock(t *testing.T) {
+	dirs := []string{".", "ir", "tensor", "models", "bench"}
+	var dump bytes.Buffer
+	for _, dir := range dirs {
+		decls, err := exportedDecls(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		name := "nimble"
+		if dir != "." {
+			name = "nimble/" + dir
+		}
+		fmt.Fprintf(&dump, "# package %s\n", name)
+		for _, d := range decls {
+			fmt.Fprintln(&dump, d)
+		}
+		fmt.Fprintln(&dump)
+	}
+	got := dump.String()
+
+	golden := filepath.Join("testdata", "api.golden")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden API dump (run with -update-api to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed.\n--- want (testdata/api.golden)\n+++ got\n%s\n"+
+			"If the change is deliberate, regenerate with:\n  go test . -run APISurfaceLock -update-api",
+			diffLines(string(want), got))
+	}
+}
+
+// exportedDecls renders every exported top-level declaration of the
+// package in dir, one line each, sorted.
+func exportedDecls(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	render := func(node any) string {
+		var b bytes.Buffer
+		_ = printer.Fprint(&b, fset, node)
+		// One line per decl: collapse struct/interface bodies' newlines.
+		s := strings.Join(strings.Fields(b.String()), " ")
+		return s
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv != nil {
+						recvType := render(d.Recv.List[0].Type)
+						if !ast.IsExported(strings.TrimPrefix(recvType, "*")) {
+							continue
+						}
+						out = append(out, fmt.Sprintf("method (%s) %s%s", recvType, d.Name.Name, renderFuncType(fset, d.Type)))
+					} else {
+						out = append(out, fmt.Sprintf("func %s%s", d.Name.Name, renderFuncType(fset, d.Type)))
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							out = append(out, "type "+s.Name.Name+" "+render(s.Type))
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if !name.IsExported() {
+									continue
+								}
+								kw := "var"
+								if d.Tok == token.CONST {
+									kw = "const"
+								}
+								line := kw + " " + name.Name
+								if s.Type != nil {
+									line += " " + render(s.Type)
+								}
+								out = append(out, line)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func renderFuncType(fset *token.FileSet, ft *ast.FuncType) string {
+	var b bytes.Buffer
+	_ = printer.Fprint(&b, fset, ft)
+	return strings.TrimPrefix(strings.Join(strings.Fields(b.String()), " "), "func")
+}
+
+// diffLines is a minimal line diff for readable failures.
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// TestNoInternalImportsOutsideInternal is the import-boundary gate: no
+// package outside internal/ (cmd, examples, the public re-exports, the
+// root) may import nimble/internal/... except the public packages
+// themselves, whose whole job is re-exporting. For cmd/ and examples/ the
+// rule is absolute.
+func TestNoInternalImportsOutsideInternal(t *testing.T) {
+	strict := []string{"cmd", "examples"} // zero internal imports allowed
+	fset := token.NewFileSet()
+	for _, root := range strict {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(p, "nimble/internal/") {
+					t.Errorf("%s imports %s; cmd/ and examples/ must use the public nimble API", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

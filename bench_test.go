@@ -1,10 +1,10 @@
-// Package repro exposes one testing.B benchmark per table and figure of the
+// This file exposes one testing.B benchmark per table and figure of the
 // paper's evaluation (§6), wrapping the internal/bench harness. Benchmarks
 // run the harness in quick mode so `go test -bench=.` finishes in minutes;
 // the full-scale numbers are produced by `go run ./cmd/nimble-bench` and
 // recorded in EXPERIMENTS.md. Key quantities (speedups, overheads) are
 // attached as custom benchmark metrics.
-package repro
+package nimble_test
 
 import (
 	"testing"

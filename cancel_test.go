@@ -1,0 +1,190 @@
+package nimble
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nimble/internal/models"
+)
+
+func mlpService(t *testing.T, cfg ServiceConfig) (*models.MLP, *Service) {
+	t.Helper()
+	m := models.NewMLP(models.MLPConfig{In: 8, Hidden: 16, Out: 4, Layers: 1, Seed: 9})
+	p, err := Compile(m.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := p.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return m, svc
+}
+
+// TestCanceledBeforeAcquire: a pre-canceled context returns ErrCanceled
+// promptly without consuming a session — the pool's free list and wait
+// counters are untouched.
+func TestCanceledBeforeAcquire(t *testing.T) {
+	m, svc := mlpService(t, ServiceConfig{Workers: 1, DisableBatching: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := TensorValue(m.RandomBatch(rand.New(rand.NewSource(1)), 2))
+	_, err := svc.Invoke(ctx, "main", in)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled invoke error = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v should also match context.Canceled", err)
+	}
+	st := svc.Stats().Pool
+	if st.Waits != 0 || st.InFlight != 0 || st.Invocations != 0 {
+		t.Errorf("pre-canceled invoke touched the pool: %+v", st)
+	}
+	// The session is still available: a normal invoke succeeds immediately.
+	if _, err := svc.Invoke(context.Background(), "main", in); err != nil {
+		t.Fatalf("pool unusable after canceled acquire: %v", err)
+	}
+}
+
+// TestCancelWhileWaitingForSession: an invoke parked behind a busy pool is
+// abandoned when its deadline fires, surfaces context.DeadlineExceeded, and
+// does not leak or consume the session that is eventually released.
+func TestCancelWhileWaitingForSession(t *testing.T) {
+	m, svc := mlpService(t, ServiceConfig{Workers: 1, DisableBatching: true})
+	in := TensorValue(m.RandomBatch(rand.New(rand.NewSource(2)), 2))
+
+	// Hold the only session so the invoke below must queue.
+	held, err := svc.pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = svc.Invoke(ctx, "main", in)
+	waited := time.Since(start)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued invoke error = %v, want ErrCanceled ∧ DeadlineExceeded", err)
+	}
+	if waited > 5*time.Second {
+		t.Fatalf("canceled acquire took %v; should return promptly at the deadline", waited)
+	}
+	svc.pool.Release(held)
+	// The released session serves new work; the canceled waiter is gone.
+	if _, err := svc.Invoke(context.Background(), "main", in); err != nil {
+		t.Fatalf("pool wedged after canceled wait: %v", err)
+	}
+	if st := svc.Stats().Pool; st.InFlight != 0 {
+		t.Errorf("session leaked: %+v", st)
+	}
+}
+
+// TestCancelWhileQueuedInBatch: a request canceled during the batcher's
+// collection window is withdrawn from the pending batch; the remaining
+// requests still dispatch and succeed.
+func TestCancelWhileQueuedInBatch(t *testing.T) {
+	m, svc := mlpService(t, ServiceConfig{Workers: 1, MaxBatch: 8, MaxDelay: 300 * time.Millisecond})
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+
+	cctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	inputs := make([]Value, 3)
+	for i := range inputs {
+		inputs[i] = TensorValue(m.RandomBatch(rng, 1+i))
+	}
+	// Three concurrent requests land in one collection window (MaxDelay is
+	// huge); request 0 is canceled while queued.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqCtx := ctx
+			if i == 0 {
+				reqCtx = cctx
+			}
+			_, errs[i] = svc.Invoke(reqCtx, "main", inputs[i])
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // all three are queued in the window
+	cancel()
+	wg.Wait()
+
+	if !errors.Is(errs[0], ErrCanceled) || !errors.Is(errs[0], context.Canceled) {
+		t.Errorf("canceled request error = %v, want ErrCanceled ∧ context.Canceled", errs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if errs[i] != nil {
+			t.Errorf("batch-mate %d failed after peer cancellation: %v", i, errs[i])
+		}
+	}
+	bst := svc.Stats().Batchers[0]
+	if bst.Canceled != 1 {
+		t.Errorf("batcher Canceled = %d, want 1 (withdrawn from pending batch)", bst.Canceled)
+	}
+	if bst.Coalesced != 2 {
+		t.Errorf("batcher Coalesced = %d, want 2 (remaining batch dispatched merged)", bst.Coalesced)
+	}
+	if bst.Fallbacks != 0 {
+		t.Errorf("batcher fell back %d times", bst.Fallbacks)
+	}
+}
+
+// TestDeadlineExceededMidServe: a deadline that fires while the VM is
+// executing stops the run at a call boundary and surfaces as
+// context.DeadlineExceeded (wrapped in ErrCanceled). The session survives
+// and serves the next request.
+func TestDeadlineExceededMidServe(t *testing.T) {
+	cfg := models.LSTMConfig{Input: 64, Hidden: 64, Layers: 1, Seed: 4}
+	m := models.NewLSTM(cfg)
+	p, err := Compile(m.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := p.NewSession()
+	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+
+	// A sequence long enough that 1ms cannot possibly finish it: the
+	// deadline must fire mid-recursion, at an OpInvoke boundary.
+	longSeq := objValue(t, m, rng, 50000)
+	dctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.Invoke(dctx, "main", longSeq)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-serve deadline error = %v, want ErrCanceled ∧ DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; VM is not checking the context", elapsed)
+	}
+
+	// Session state is intact: a short sequence still runs.
+	out, err := sess.Invoke(ctx, "main", objValue(t, m, rng, 4))
+	if err != nil {
+		t.Fatalf("session broken after mid-run cancel: %v", err)
+	}
+	if ot, ok := out.Tensor(); !ok || ot.Shape()[1] != cfg.Hidden {
+		t.Errorf("post-cancel output wrong: %v", out)
+	}
+}
+
+// objValue builds an n-step LSTM input as a public Value (mirrors
+// models.RandomSequenceValue without importing the public package, which
+// would create an import cycle in this white-box test).
+func objValue(t *testing.T, m *models.LSTM, rng *rand.Rand, n int) Value {
+	t.Helper()
+	steps := m.RandomSteps(rng, n)
+	v := ADTValue(m.NilC.Tag)
+	for i := len(steps) - 1; i >= 0; i-- {
+		v = ADTValue(m.ConsC.Tag, TensorValue(steps[i]), v)
+	}
+	return v
+}

@@ -4,7 +4,8 @@
 //
 // With -serve it instead runs the closed-loop serving load generator:
 // 1..64 concurrent clients over a shared session pool, reporting p50/p99
-// latency, requests/sec and tokens/sec per client count.
+// latency, requests/sec and tokens/sec per client count. The shared
+// -model flag filters the serve sweep to one model.
 package main
 
 import (
@@ -13,13 +14,15 @@ import (
 	"log"
 	"time"
 
-	"nimble/internal/bench"
+	"nimble/bench"
+	"nimble/cmd/internal/cli"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", "table1 | table2 | table3 | table4 | figure3 | memplan | all")
 	quick := flag.Bool("quick", false, "reduced sample counts and model sizes")
 	seed := flag.Int64("seed", 7, "sampler seed")
+	model := cli.ModelFlag("")
 	serveMode := flag.Bool("serve", false, "run the concurrent-serving load generator instead of the paper tables")
 	serveWorkers := flag.Int("serve-workers", 8, "session pool size for -serve")
 	serveDur := flag.Duration("serve-duration", time.Second, "measured window per -serve cell")
@@ -32,6 +35,7 @@ func main() {
 			Duration: *serveDur,
 			Seed:     *seed,
 			Batch:    *serveBatch,
+			Model:    *model,
 		})
 		if err != nil {
 			log.Fatalf("serve: %v", err)

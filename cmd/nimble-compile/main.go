@@ -1,8 +1,8 @@
 // Command nimble-compile builds one of the built-in models and writes its
 // serialized VM executable — the "Nimble executable" of Figure 2, containing
 // platform-independent bytecode and the kernel name table. Running it later
-// requires relinking kernels (nimble-run does this by rebuilding the same
-// model deterministically).
+// requires relinking kernels (nimble-run and nimble-serve do this by
+// rebuilding the same model deterministically).
 package main
 
 import (
@@ -11,28 +11,23 @@ import (
 	"log"
 	"os"
 
-	"nimble/internal/compiler"
-	"nimble/internal/ir"
-	"nimble/internal/models"
+	"nimble"
+	"nimble/cmd/internal/cli"
+	"nimble/ir"
 )
 
 func main() {
-	model := flag.String("model", "lstm", "model to compile: lstm | lstm2 | treelstm | bert | bert-base")
+	model := cli.ModelFlag("lstm")
 	out := flag.String("o", "model.nimble", "output executable path")
 	target := flag.String("target", "cpu", "target device: cpu | gpu")
 	dispatch := flag.Int("dispatch", 8, "symbolic dense dispatch width (1, 2, 4, 8)")
 	flag.Parse()
 
-	mod, err := buildModel(*model)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts := compiler.Options{}
+	opts := []nimble.Option{nimble.WithDispatchWidth(*dispatch)}
 	if *target == "gpu" {
-		opts.Target = ir.GPU(0)
+		opts = append(opts, nimble.WithTarget(ir.GPU(0)))
 	}
-	opts.Codegen.Dispatch = *dispatch
-	res, err := compiler.Compile(mod, opts)
+	m, err := cli.Build(*model, opts...)
 	if err != nil {
 		log.Fatalf("compile: %v", err)
 	}
@@ -41,30 +36,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	n, err := res.Exe.WriteTo(f)
+	n, err := m.Program.Save(f)
 	if err != nil {
 		log.Fatalf("write: %v", err)
 	}
-	fmt.Printf("compiled %s: %d instructions, %d kernels, %d constants, %d bytes -> %s\n",
-		*model, res.Stats.Instructions, res.Stats.Kernels, len(res.Exe.Consts), n, *out)
+	st := m.Program.Stats()
+	fmt.Printf("compiled %s: %d instructions, %d kernels, %d bytes -> %s\n",
+		*model, st.Instructions, st.Kernels, n, *out)
 	fmt.Printf("fusion: %d groups (%d ops); allocs: %d static, %d dynamic; coalesced: %d -> %d\n",
-		res.Stats.Fusion.Groups, res.Stats.Fusion.OpsFused,
-		res.Stats.Alloc.StaticAllocs, res.Stats.Alloc.DynamicAllocs,
-		res.Stats.Coalesce.Before, res.Stats.Coalesce.After)
-}
-
-func buildModel(name string) (*ir.Module, error) {
-	switch name {
-	case "lstm":
-		return models.NewLSTM(models.DefaultLSTMConfig(1)).Module, nil
-	case "lstm2":
-		return models.NewLSTM(models.DefaultLSTMConfig(2)).Module, nil
-	case "treelstm":
-		return models.NewTreeLSTM(models.DefaultTreeLSTMConfig()).Module, nil
-	case "bert":
-		return models.NewBERT(models.BERTReduced()).Module, nil
-	case "bert-base":
-		return models.NewBERT(models.BERTBase()).Module, nil
+		st.FusionGroups, st.FusedOps, st.StaticAllocs, st.DynamicAllocs,
+		st.StoragesBefore, st.StoragesAfter)
+	fmt.Println("entrypoints:")
+	for _, sig := range m.Program.Entrypoints() {
+		fmt.Printf("  %s\n", sig)
 	}
-	return nil, fmt.Errorf("unknown model %q", name)
 }

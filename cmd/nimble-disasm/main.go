@@ -1,6 +1,8 @@
-// Command nimble-disasm prints the bytecode of a serialized executable —
-// functions, the 20-instruction ISA stream, kernel names, and constant-pool
-// metadata.
+// Command nimble-disasm prints the bytecode of an executable — functions,
+// the 20-instruction ISA stream, kernel names, and constant-pool metadata.
+// It takes the same flags as the other tools: -exe reads a serialized
+// executable (a positional path still works), -model compiles the named
+// model in memory and disassembles that.
 package main
 
 import (
@@ -9,28 +11,43 @@ import (
 	"log"
 	"os"
 
-	"nimble/internal/vm"
+	"nimble"
+	"nimble/cmd/internal/cli"
 )
 
 func main() {
+	model := cli.ModelFlag("")
+	exe := cli.ExeFlag("")
 	flag.Parse()
-	path := "model.nimble"
+
+	if *model != "" {
+		// Compile in memory and disassemble: full signatures available.
+		m, err := cli.Build(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sig := range m.Program.Entrypoints() {
+			fmt.Printf("entry %s\n", sig)
+		}
+		fmt.Print(m.Program.Disassemble())
+		return
+	}
+	path := *exe
 	if flag.NArg() > 0 {
 		path = flag.Arg(0)
+	}
+	if path == "" {
+		path = "model.nimble" // the historical default
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	exe, err := vm.ReadExecutable(f)
+	// Load unlinked: kernels are not needed to print bytecode.
+	p, err := nimble.Load(f, nil)
 	if err != nil {
 		log.Fatalf("load: %v", err)
 	}
-	fmt.Print(exe.Disassemble())
-	fmt.Printf("kernels (%d):\n", len(exe.KernelNames))
-	for i, k := range exe.KernelNames {
-		fmt.Printf("  #%-3d %s\n", i, k)
-	}
-	fmt.Printf("constants: %d\n", len(exe.Consts))
+	fmt.Print(p.Disassemble())
 }

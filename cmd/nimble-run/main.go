@@ -1,94 +1,62 @@
-// Command nimble-run loads a serialized executable produced by
-// nimble-compile, relinks its kernels by recompiling the same model, and
-// runs one inference on synthetic input, printing latency and the VM
-// profile.
+// Command nimble-run executes one of the built-in models once on synthetic
+// input and prints the latency (and optionally the VM profile). With -exe
+// it loads a serialized executable produced by nimble-compile and relinks
+// its kernels by recompiling the same model; without it the model runs
+// straight from an in-memory compile.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
 	"time"
 
-	"nimble/internal/compiler"
-	"nimble/internal/models"
-	"nimble/internal/vm"
+	"nimble/cmd/internal/cli"
 )
 
 func main() {
-	model := flag.String("model", "lstm", "model the executable was compiled from: lstm | lstm2 | treelstm | bert")
-	in := flag.String("exe", "model.nimble", "executable path")
-	length := flag.Int("len", 26, "sequence length / tree size")
+	model := cli.ModelFlag("lstm")
+	exe := cli.ExeFlag("")
+	length := flag.Int("len", 26, "sequence length / tree size / batch rows")
 	profile := flag.Bool("profile", false, "print the VM instruction profile")
+	timeout := flag.Duration("timeout", 0, "per-invocation deadline (0 = none)")
 	flag.Parse()
 
-	f, err := os.Open(*in)
+	m, err := cli.BuildOrLoad(*model, *exe)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exe, err := vm.ReadExecutable(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("load: %v", err)
+	for _, sig := range m.Program.Entrypoints() {
+		fmt.Printf("entry %s\n", sig)
 	}
 
-	rng := rand.New(rand.NewSource(1))
-	var input vm.Object
-	var registry map[string]vm.PackedFunc
-	switch *model {
-	case "lstm", "lstm2":
-		layers := 1
-		if *model == "lstm2" {
-			layers = 2
-		}
-		m := models.NewLSTM(models.DefaultLSTMConfig(layers))
-		res, err := compiler.Compile(m.Module, compiler.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		registry = res.Registry
-		input = m.RandomSequence(rng, *length)
-	case "treelstm":
-		m := models.NewTreeLSTM(models.DefaultTreeLSTMConfig())
-		res, err := compiler.Compile(m.Module, compiler.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		registry = res.Registry
-		input = m.ToObject(models.RandomTree(rng, *length, m.Config.Input))
-	case "bert":
-		m := models.NewBERT(models.BERTReduced())
-		res, err := compiler.Compile(m.Module, compiler.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		registry = res.Registry
-		input = vm.NewTensorObj(m.RandomIDs(rng, *length))
-	default:
-		log.Fatalf("unknown model %q", *model)
+	sess := m.Program.NewSession()
+	if *profile {
+		sess.EnableProfiling()
 	}
-	if err := exe.LinkKernels(registry); err != nil {
-		log.Fatalf("link: %v", err)
-	}
+	input := m.RandomInput(rand.New(rand.NewSource(1)), *length)
 
-	machine := vm.New(exe)
-	prof := vm.NewProfiler()
-	machine.SetProfiler(prof)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	out, err := machine.Invoke("main", input)
+	out, err := sess.Invoke(ctx, "main", input)
 	lat := time.Since(start)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}
-	if t, ok := out.(*vm.TensorObj); ok {
-		fmt.Printf("output: %s in %v (%.1f µs/token)\n", t.T, lat,
+	if t, ok := out.Tensor(); ok {
+		fmt.Printf("output: %s in %v (%.1f µs/token)\n", t, lat,
 			float64(lat.Microseconds())/float64(*length))
 	} else {
-		fmt.Printf("output: %T in %v\n", out, lat)
+		fmt.Printf("output: %s in %v\n", out.Kind(), lat)
 	}
 	if *profile {
-		fmt.Print(prof.Summary())
+		fmt.Print(sess.Profile())
 	}
 }

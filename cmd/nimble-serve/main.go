@@ -1,43 +1,72 @@
-// Command nimble-serve exposes a compiled model over HTTP: one frozen
-// executable, a pool of VM sessions, and (for row-independent models) a
-// micro-batcher that coalesces concurrent requests into single kernel
-// dispatches.
+// Command nimble-serve exposes a compiled model over HTTP through the
+// public nimble API: one frozen Program, a Service (session pool +
+// automatic micro-batching for row-separable entries), and handlers built
+// entirely on Program.Entrypoints() — no per-model adapters. Any entry of
+// any model is invocable; argument decoding is driven by the entry's
+// introspected signature.
 //
-//	nimble-serve -model mlp -workers 8 -batch
-//	curl -s localhost:8080/healthz
+//	nimble-serve -model mlp -workers 8
+//	curl -s localhost:8080/models
 //	curl -s -X POST localhost:8080/invoke -d '{"args":[{"dtype":"float32","shape":[1,64],"data":[...]}]}'
 //	curl -s localhost:8080/stats
 //
 // Endpoints:
 //
-//	POST /invoke  {"entry":"main","args":[tensor...]} -> {"output":tensor,"latency_us":...}
-//	              lstm accepts {"seq":[tensor,...]} (one [1,1,in] step per element)
+//	POST /invoke  {"entry":"main","args":[value...]} -> {"output":value,"latency_us":...}
+//	              A value is a tensor {"dtype","shape","data"} or an ADT
+//	              {"adt":{"ctor":"Cons"|"tag":1,"fields":[value...]}}.
+//	              {"seq":[tensor,...]} is accepted for entries whose sole
+//	              parameter is a cons-list ADT (e.g. the LSTM).
+//	GET  /models  -> model name + every entry signature (types, Any dims,
+//	              ADT constructors, row-separability)
 //	GET  /healthz -> {"ok":true,...}
 //	GET  /stats   -> pool + batcher counters
 //
-// Tensors travel as {"dtype":"float32|int64","shape":[...],"data":[...]}.
+// SIGINT/SIGTERM shut the server down gracefully: listeners stop, in-flight
+// requests get -shutdown-timeout to complete, the batcher drains, and the
+// pool closes.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
-	"nimble/internal/compiler"
-	"nimble/internal/models"
-	"nimble/internal/serve"
-	"nimble/internal/tensor"
-	"nimble/internal/vm"
+	"nimble"
+	"nimble/cmd/internal/cli"
+	"nimble/tensor"
 )
 
 type tensorJSON struct {
 	DType string    `json:"dtype"`
 	Shape []int     `json:"shape"`
 	Data  []float64 `json:"data"`
+}
+
+// valueJSON is the wire form of a nimble.Value: exactly one of the tensor
+// fields (DType/Shape/Data) or ADT / Tuple is set.
+type valueJSON struct {
+	DType string      `json:"dtype,omitempty"`
+	Shape []int       `json:"shape,omitempty"`
+	Data  []float64   `json:"data,omitempty"`
+	ADT   *adtJSON    `json:"adt,omitempty"`
+	Tuple []valueJSON `json:"tuple,omitempty"`
+}
+
+type adtJSON struct {
+	// Ctor names the constructor (resolved against the parameter's ADT
+	// signature); Tag may be given directly instead.
+	Ctor   string      `json:"ctor,omitempty"`
+	Tag    *int        `json:"tag,omitempty"`
+	Fields []valueJSON `json:"fields,omitempty"`
 }
 
 func toTensor(tj tensorJSON) (*tensor.Tensor, error) {
@@ -69,141 +98,252 @@ func toTensor(tj tensorJSON) (*tensor.Tensor, error) {
 }
 
 func fromTensor(t *tensor.Tensor) tensorJSON {
-	return tensorJSON{
-		DType: t.DType().String(),
-		Shape: t.Shape(),
-		Data:  t.AsF64(),
+	return tensorJSON{DType: t.DType().String(), Shape: t.Shape(), Data: t.AsF64()}
+}
+
+// toValue decodes one wire value against its signature parameter type.
+func toValue(vj valueJSON, p nimble.TypeInfo) (nimble.Value, error) {
+	switch {
+	case vj.ADT != nil:
+		if p.Kind != nimble.KindADTType || p.ADT == nil {
+			return nimble.Value{}, fmt.Errorf("parameter is %s, not an ADT", p.Kind)
+		}
+		return toADTValue(*vj.ADT, p.ADT)
+	case vj.Tuple != nil:
+		if p.Kind != nimble.KindTupleType {
+			return nimble.Value{}, fmt.Errorf("parameter is %s, not a tuple", p.Kind)
+		}
+		if len(vj.Tuple) != len(p.Fields) {
+			return nimble.Value{}, fmt.Errorf("tuple has %d fields, want %d", len(vj.Tuple), len(p.Fields))
+		}
+		fields := make([]nimble.Value, len(vj.Tuple))
+		for i, f := range vj.Tuple {
+			v, err := toValue(f, p.Fields[i])
+			if err != nil {
+				return nimble.Value{}, fmt.Errorf("tuple[%d]: %w", i, err)
+			}
+			fields[i] = v
+		}
+		return nimble.TupleValue(fields...), nil
+	default:
+		// A tensor where the signature wants an ADT/tuple is a malformed
+		// request: reject it here (400) instead of letting the VM trip on it.
+		if p.Kind != nimble.KindTensorType && p.Kind != nimble.KindUnknownType {
+			return nimble.Value{}, fmt.Errorf("parameter is %s, not a tensor", p.Kind)
+		}
+		t, err := toTensor(tensorJSON{DType: vj.DType, Shape: vj.Shape, Data: vj.Data})
+		if err != nil {
+			return nimble.Value{}, err
+		}
+		if p.Kind == nimble.KindTensorType {
+			if err := cli.TensorShapeOK(t, p); err != nil {
+				return nimble.Value{}, err
+			}
+		}
+		return nimble.TensorValue(t), nil
 	}
 }
 
+// toADTValue decodes an ADT wire value, resolving constructors by name or
+// tag against the signature. Nested ADT fields whose signature carries
+// name-only info (recursive types) reuse the root description.
+func toADTValue(aj adtJSON, info *nimble.ADTInfo) (nimble.Value, error) {
+	var ctor *nimble.CtorInfo
+	for i := range info.Constructors {
+		c := &info.Constructors[i]
+		if (aj.Tag != nil && c.Tag == *aj.Tag) || (aj.Ctor != "" && c.Name == aj.Ctor) {
+			ctor = c
+			break
+		}
+	}
+	if ctor == nil {
+		return nimble.Value{}, fmt.Errorf("ADT %s has no constructor %q/tag %v", info.Name, aj.Ctor, aj.Tag)
+	}
+	if len(aj.Fields) != len(ctor.Fields) {
+		return nimble.Value{}, fmt.Errorf("%s.%s takes %d fields, got %d", info.Name, ctor.Name, len(ctor.Fields), len(aj.Fields))
+	}
+	fields := make([]nimble.Value, len(aj.Fields))
+	for i, f := range aj.Fields {
+		ft := ctor.Fields[i]
+		if ft.Kind == nimble.KindADTType && ft.ADT != nil && ft.ADT.Name == info.Name && ft.ADT.Constructors == nil {
+			ft.ADT = info // recursive reference: reuse the full description
+		}
+		v, err := toValue(f, ft)
+		if err != nil {
+			return nimble.Value{}, fmt.Errorf("%s.%s field %d: %w", info.Name, ctor.Name, i, err)
+		}
+		fields[i] = v
+	}
+	return nimble.ADTValue(ctor.Tag, fields...), nil
+}
+
+func fromValue(v nimble.Value) valueJSON {
+	if t, ok := v.Tensor(); ok {
+		tj := fromTensor(t)
+		return valueJSON{DType: tj.DType, Shape: tj.Shape, Data: tj.Data}
+	}
+	fields := make([]valueJSON, len(v.Fields()))
+	for i, f := range v.Fields() {
+		fields[i] = fromValue(f)
+	}
+	if v.Kind() == nimble.KindTuple {
+		return valueJSON{Tuple: fields}
+	}
+	tag := v.Tag()
+	return valueJSON{ADT: &adtJSON{Tag: &tag, Fields: fields}}
+}
+
+// listParam recognizes cons-list ADT parameters (the {"seq": ...} sugar):
+// exactly two constructors, one nullary (nil) and one binary whose fields
+// are a tensor and the list itself. Returns the nil/cons info.
+func listParam(p nimble.TypeInfo) (nilCtor, consCtor *nimble.CtorInfo, elem nimble.TypeInfo, ok bool) {
+	if p.Kind != nimble.KindADTType || p.ADT == nil || len(p.ADT.Constructors) != 2 {
+		return nil, nil, nimble.TypeInfo{}, false
+	}
+	for i := range p.ADT.Constructors {
+		c := &p.ADT.Constructors[i]
+		switch len(c.Fields) {
+		case 0:
+			nilCtor = c
+		case 2:
+			if c.Fields[0].Kind == nimble.KindTensorType &&
+				c.Fields[1].Kind == nimble.KindADTType &&
+				c.Fields[1].ADT != nil && c.Fields[1].ADT.Name == p.ADT.Name {
+				consCtor = c
+				elem = c.Fields[0]
+			}
+		}
+	}
+	ok = nilCtor != nil && consCtor != nil
+	return nilCtor, consCtor, elem, ok
+}
+
+// seqToList folds step tensors into the entry's cons-list value, reshaping
+// each step to the constructor's declared element shape when the element
+// counts agree (so a flat [300] step feeds a Tensor[(1, 300)] field).
+func seqToList(seq []tensorJSON, p nimble.TypeInfo) (nimble.Value, error) {
+	nilCtor, consCtor, elem, ok := listParam(p)
+	if !ok {
+		return nimble.Value{}, fmt.Errorf(`this entry does not take a list; use "args"`)
+	}
+	want := 1
+	static := true
+	for _, d := range elem.Shape {
+		if d == nimble.DimAny {
+			static = false
+			break
+		}
+		want *= d
+	}
+	steps := make([]*tensor.Tensor, len(seq))
+	for i, tj := range seq {
+		t, err := toTensor(tj)
+		if err != nil {
+			return nimble.Value{}, fmt.Errorf("seq[%d]: %w", i, err)
+		}
+		if static {
+			if t.NumElements() != want {
+				return nimble.Value{}, fmt.Errorf("seq[%d]: element wants %d values (%v), got %d",
+					i, want, elem.Shape, t.NumElements())
+			}
+			if t, err = t.Reshape(elem.Shape...); err != nil {
+				return nimble.Value{}, fmt.Errorf("seq[%d]: %w", i, err)
+			}
+		}
+		steps[i] = t
+	}
+	v := nimble.ADTValue(nilCtor.Tag)
+	for i := len(steps) - 1; i >= 0; i-- {
+		v = nimble.ADTValue(consCtor.Tag, nimble.TensorValue(steps[i]), v)
+	}
+	return v, nil
+}
+
 type invokeRequest struct {
-	Entry string       `json:"entry"`
-	Args  []tensorJSON `json:"args"`
-	// Seq is the LSTM input form: a list of step tensors packed into the
-	// model's cons-list ADT server-side.
+	Entry string      `json:"entry"`
+	Args  []valueJSON `json:"args"`
+	// Seq is list-entry sugar: step tensors packed into the entry's
+	// cons-list parameter server-side.
 	Seq []tensorJSON `json:"seq"`
 }
 
 type invokeResponse struct {
-	Output    tensorJSON `json:"output"`
-	LatencyUS float64    `json:"latency_us"`
+	Output    valueJSON `json:"output"`
+	LatencyUS float64   `json:"latency_us"`
 }
 
-// server binds the pool and optional batcher to the model-specific input
-// adapter.
 type server struct {
 	model   string
-	pool    *serve.Pool
-	batcher *serve.Batcher
-	// toArgs converts a decoded request into VM arguments.
-	toArgs func(req invokeRequest) ([]vm.Object, error)
-	start  time.Time
+	svc     *nimble.Service
+	timeout time.Duration
+	start   time.Time
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	model := flag.String("model", "mlp", "mlp | lstm | bert")
+	model := cli.ModelFlag("mlp")
+	exe := cli.ExeFlag("")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "session pool size")
-	batch := flag.Bool("batch", true, "micro-batch concurrent requests (row-independent models only)")
+	batch := flag.Bool("batch", true, "micro-batch row-separable entries")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch size cap")
 	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "micro-batch collection window")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	s := &server{model: *model, start: time.Now()}
-	switch *model {
-	case "mlp":
-		m := models.NewMLP(models.DefaultMLPConfig())
-		res, err := compiler.Compile(m.Module, compiler.Options{})
-		if err != nil {
-			log.Fatal(err)
+	m, err := cli.BuildOrLoad(*model, *exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := m.Program.NewService(nimble.ServiceConfig{
+		Workers:         *workers,
+		DisableBatching: !*batch,
+		MaxBatch:        *maxBatch,
+		MaxDelay:        *maxDelay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{model: *model, svc: svc, timeout: *reqTimeout, start: time.Now()}
+	log.Printf("serving %s", m.Describe)
+	for _, sig := range m.Program.Entrypoints() {
+		mode := "pool"
+		if sig.RowSeparable && *batch {
+			mode = "micro-batched"
 		}
-		s.pool = mustPool(res, *workers)
-		if *batch {
-			s.batcher = serve.NewBatcher(s.pool, serve.BatchConfig{
-				Entry: "main", MaxBatch: *maxBatch, MaxDelay: *maxDelay,
-			})
-		}
-		s.toArgs = singleTensorArgs
-		log.Printf("serving mlp %d->%d (x%d)->%d: batch rows along dim 0",
-			m.Config.In, m.Config.Hidden, m.Config.Layers, m.Config.Out)
-
-	case "bert":
-		m := models.NewBERT(models.BERTReduced())
-		res, err := compiler.Compile(m.Module, compiler.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		s.pool = mustPool(res, *workers)
-		// BERT attention mixes sequence positions: concatenating two
-		// requests' ids would change both answers, so no batcher here —
-		// per-request dispatch over the pool.
-		s.toArgs = singleTensorArgs
-		log.Printf("serving bert L=%d H=%d: dynamic sequence length, per-request dispatch",
-			m.Config.Layers, m.Config.Hidden)
-
-	case "lstm":
-		m := models.NewLSTM(models.DefaultLSTMConfig(1))
-		res, err := compiler.Compile(m.Module, compiler.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		s.pool = mustPool(res, *workers)
-		nilTag, consTag, input := m.NilC.Tag, m.ConsC.Tag, m.Config.Input
-		s.toArgs = func(req invokeRequest) ([]vm.Object, error) {
-			if len(req.Seq) == 0 {
-				return nil, fmt.Errorf("lstm requests use {\"seq\": [tensor,...]}")
-			}
-			steps := make([]*tensor.Tensor, len(req.Seq))
-			for i, tj := range req.Seq {
-				t, err := toTensor(tj)
-				if err != nil {
-					return nil, fmt.Errorf("seq[%d]: %w", i, err)
-				}
-				if t.NumElements() != input {
-					return nil, fmt.Errorf("seq[%d]: model consumes %d features, got %d", i, input, t.NumElements())
-				}
-				r, err := t.Reshape(1, input)
-				if err != nil {
-					return nil, err
-				}
-				steps[i] = r
-			}
-			return []vm.Object{models.SequenceToList(nilTag, consTag, steps)}, nil
-		}
-		log.Printf("serving lstm in=%d hidden=%d: ADT list input, per-request dispatch",
-			m.Config.Input, m.Config.Hidden)
-
-	default:
-		log.Fatalf("unknown -model %q (mlp | lstm | bert)", *model)
+		log.Printf("  entry %s  [%s]", sig, mode)
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", s.handleInvoke)
+	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	log.Printf("nimble-serve: model=%s workers=%d batch=%v listening on %s",
-		*model, *workers, s.batcher != nil, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 
-func mustPool(res *compiler.Result, workers int) *serve.Pool {
-	p, err := serve.NewPool(res.Exe, workers)
-	if err != nil {
+	// Graceful shutdown: stop accepting, give in-flight requests the drain
+	// window, then close the service (batcher drains, pool closes).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("nimble-serve: model=%s workers=%d listening on %s", *model, svc.Workers(), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
-	return p
-}
-
-// singleTensorArgs adapts {"args":[tensor]} requests.
-func singleTensorArgs(req invokeRequest) ([]vm.Object, error) {
-	if len(req.Args) != 1 {
-		return nil, fmt.Errorf("this model takes exactly 1 tensor arg, got %d", len(req.Args))
+	log.Printf("nimble-serve: signal received, draining (timeout %v)", *shutdownTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("nimble-serve: shutdown: %v", err)
 	}
-	t, err := toTensor(req.Args[0])
-	if err != nil {
-		return nil, err
-	}
-	return []vm.Object{vm.NewTensorObj(t)}, nil
+	svc.Close()
+	st := svc.Stats().Pool
+	log.Printf("nimble-serve: drained; served %d invocations (%d errors)", st.Invocations, st.Errors)
 }
 
 func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
@@ -222,38 +362,70 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if req.Entry == "" {
 		req.Entry = "main"
 	}
-	args, err := s.toArgs(req)
+	sig, err := s.svc.Program().Entry(req.Entry)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusNotFound, err)
 		return
 	}
-
-	start := time.Now()
-	var out *tensor.Tensor
-	if s.batcher != nil && req.Entry == "main" && len(args) == 1 {
-		if to, ok := args[0].(*vm.TensorObj); ok && to.T.Rank() >= 1 {
-			out, err = s.batcher.Invoke(to.T)
+	var args []nimble.Value
+	switch {
+	case req.Seq != nil:
+		if len(sig.Params) != 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args; \"seq\" needs a single list parameter", sig.Name, len(sig.Params)))
+			return
 		}
-	}
-	if out == nil && err == nil {
-		var obj vm.Object
-		obj, err = s.pool.Invoke(req.Entry, args...)
-		if err == nil {
-			to, ok := obj.(*vm.TensorObj)
-			if !ok {
-				err = fmt.Errorf("entry %q returned %T, which does not serialize", req.Entry, obj)
-			} else {
-				out = to.T
+		v, err := seqToList(req.Seq, sig.Params[0])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		args = []nimble.Value{v}
+	default:
+		if len(req.Args) != len(sig.Params) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args, got %d", sig.Name, len(sig.Params), len(req.Args)))
+			return
+		}
+		args = make([]nimble.Value, len(req.Args))
+		for i, a := range req.Args {
+			v, err := toValue(a, sig.Params[i])
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("arg %d: %w", i, err))
+				return
 			}
+			args[i] = v
 		}
 	}
+
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	out, err := s.svc.Invoke(ctx, req.Entry, args...)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		switch {
+		case errors.Is(err, nimble.ErrCanceled):
+			httpError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, nimble.ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err)
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	writeJSON(w, invokeResponse{
-		Output:    fromTensor(out),
+		Output:    fromValue(out),
 		LatencyUS: float64(time.Since(start).Microseconds()),
+	})
+}
+
+func (s *server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"model":       s.model,
+		"workers":     s.svc.Workers(),
+		"entrypoints": s.svc.Program().Entrypoints(),
 	})
 }
 
@@ -261,17 +433,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{
 		"ok":         true,
 		"model":      s.model,
-		"workers":    s.pool.Size(),
+		"workers":    s.svc.Workers(),
 		"uptime_sec": time.Since(s.start).Seconds(),
 	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resp := map[string]any{"pool": s.pool.Stats()}
-	if s.batcher != nil {
-		resp["batcher"] = s.batcher.Stats()
-	}
-	writeJSON(w, resp)
+	writeJSON(w, s.svc.Stats())
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

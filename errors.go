@@ -1,0 +1,41 @@
+package nimble
+
+import (
+	"errors"
+	"fmt"
+
+	"nimble/internal/serve"
+)
+
+// Sentinel errors of the public API. All are matched with errors.Is; the
+// errors actually returned wrap these with context (entry name, arity).
+var (
+	// ErrUnknownEntry reports an Invoke against an entry function the
+	// program does not define. Program.Entrypoints lists what exists.
+	ErrUnknownEntry = errors.New("nimble: unknown entry function")
+	// ErrBadArity reports an Invoke with the wrong number of arguments for
+	// the entry's signature.
+	ErrBadArity = errors.New("nimble: wrong number of arguments")
+	// ErrCanceled reports an invocation abandoned because its context was
+	// canceled or its deadline passed. Returned errors wrap both this
+	// sentinel and the underlying context error, so
+	// errors.Is(err, context.DeadlineExceeded) also works.
+	ErrCanceled = serve.ErrCanceled
+	// ErrClosed reports an operation on a closed Session or Service.
+	ErrClosed = serve.ErrClosed
+)
+
+func unknownEntry(name string) error {
+	return fmt.Errorf("%w: %q", ErrUnknownEntry, name)
+}
+
+func badArity(sig *EntrySignature, got int) error {
+	return fmt.Errorf("%w: %s takes %d, got %d", ErrBadArity, sig.Name, len(sig.Params), got)
+}
+
+// canceled wraps err in the ErrCanceled family when it is a context error
+// (possibly buried in a wrap chain); other errors pass through untouched.
+// The classification itself lives in internal/serve so both layers agree.
+func canceled(err error) error {
+	return serve.WrapCtxErr(err)
+}

@@ -1,44 +1,48 @@
-// BERT example: dynamic sequence lengths (dynamic data shapes). Every dense
-// kernel in the compiled program is symbolic and dispatched by the runtime
-// residue of the sequence length (§4.5).
+// BERT example: dynamic sequence lengths (dynamic data shapes) through the
+// public API. The entry signature shows the Any dimension; note that the
+// compiler does NOT mark it row-separable — attention couples sequence
+// positions, so the serving layer dispatches BERT per request instead of
+// micro-batching it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
-	"strings"
 	"time"
 
-	"nimble/internal/compiler"
-	"nimble/internal/models"
+	"nimble"
+	"nimble/models"
 )
 
 func main() {
 	cfg := models.BERTConfig{Layers: 2, Hidden: 128, Heads: 4, FFN: 512, Vocab: 1000, MaxSeq: 64, Seed: 44}
 	m := models.NewBERT(cfg)
-	machine, res, err := compiler.CompileToVM(m.Module, compiler.Options{})
+	prog, err := nimble.Compile(m.Module)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var symbolic []string
-	for _, k := range res.Exe.KernelNames {
-		if strings.HasPrefix(k, "dense_sym_") {
-			symbolic = append(symbolic, k)
-		}
+	sig, err := prog.Entry("main")
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("BERT L=%d H=%d compiled with symbolic kernels: %v\n", cfg.Layers, cfg.Hidden, symbolic)
+	fmt.Printf("entry %s\n", sig)
+	fmt.Printf("row-separable: %v (attention couples rows; no micro-batching)\n", sig.RowSeparable)
+	fmt.Printf("compiled: %d instructions, %d kernels\n", prog.Stats().Instructions, prog.Stats().Kernels)
 
+	sess := prog.NewSession()
 	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
 	for _, n := range []int{9, 16, 23, 40} {
 		ids := m.RandomIDs(rng, n)
 		start := time.Now()
-		out, err := machine.InvokeTensors("main", ids)
+		out, err := sess.Invoke(ctx, "main", nimble.TensorValue(ids))
 		lat := time.Since(start)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("seq len %2d (residue %d): output %v in %v\n",
-			n, n%8, out.Shape(), lat)
+		t, _ := out.Tensor()
+		fmt.Printf("seq len %2d (residue %d): output %v in %v\n", n, n%8, t.Shape(), lat)
 	}
 }

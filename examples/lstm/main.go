@@ -1,51 +1,55 @@
-// LSTM example: variable-length sequence inference (dynamic control flow).
-// Compares the compiled Nimble VM against the eager define-by-run baseline
-// on the same weights, checking outputs agree and printing latencies.
+// LSTM example: variable-length sequence inference (dynamic control flow)
+// through the public API. The compiled program recurses over a cons-list
+// ADT; the example shows the introspected signature, per-length latency,
+// and context cancellation stopping a long sequence mid-run.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"nimble/internal/baselines"
-	"nimble/internal/compiler"
-	"nimble/internal/data"
-	"nimble/internal/models"
-	"nimble/internal/vm"
+	"nimble"
+	"nimble/models"
 )
 
 func main() {
-	cfg := models.LSTMConfig{Input: 128, Hidden: 128, Layers: 1, Seed: 42}
-	m := models.NewLSTM(cfg)
-	machine, res, err := compiler.CompileToVM(m.Module, compiler.Options{})
+	m := models.NewLSTM(models.LSTMConfig{Input: 128, Hidden: 128, Layers: 1, Seed: 42})
+	prog, err := nimble.Compile(m.Module)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("LSTM in=%d hid=%d compiled: %d instructions, %d fused groups\n",
-		cfg.Input, cfg.Hidden, res.Stats.Instructions, res.Stats.Fusion.Groups)
+	st := prog.Stats()
+	fmt.Printf("LSTM compiled: %d instructions, %d fused groups\n", st.Instructions, st.FusionGroups)
+	for _, sig := range prog.Entrypoints() {
+		fmt.Printf("entry %s\n", sig)
+	}
 
-	e := baselines.NewEager()
-	cells := e.CellsFromModel(m)
+	sess := prog.NewSession()
 	rng := rand.New(rand.NewSource(1))
-	sampler := data.NewMRPC(7)
-	for i := 0; i < 3; i++ {
-		n := sampler.Length()
-		steps := m.RandomSteps(rng, n)
-
+	ctx := context.Background()
+	for _, n := range []int{8, 26, 60} {
+		seq := models.RandomSequenceValue(m, rng, n)
 		start := time.Now()
-		out, err := machine.Invoke("main", models.SequenceToList(m.NilC.Tag, m.ConsC.Tag, steps))
-		nimbleLat := time.Since(start)
+		out, err := sess.Invoke(ctx, "main", seq)
+		lat := time.Since(start)
 		if err != nil {
 			log.Fatal(err)
 		}
-		start = time.Now()
-		ref := e.RunLSTM(cells, steps)
-		eagerLat := time.Since(start)
-
-		agree := out.(*vm.TensorObj).T.AllClose(ref, 1e-4, 1e-5)
-		fmt.Printf("len=%3d  nimble=%8v  eager=%8v  outputs agree: %v\n",
-			n, nimbleLat, eagerLat, agree)
+		t, _ := out.Tensor()
+		fmt.Printf("len=%3d  output %v  in %8v (%.1f µs/token)\n",
+			n, t.Shape(), lat, float64(lat.Microseconds())/float64(n))
 	}
+
+	// Cancellation: a deadline that cannot fit a 10k-step sequence stops
+	// the recursion at a call boundary instead of running to completion.
+	long := models.RandomSequenceValue(m, rng, 10000)
+	cctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	_, err = sess.Invoke(cctx, "main", long)
+	fmt.Printf("10000-step sequence under 1ms deadline: canceled=%v deadline=%v\n",
+		errors.Is(err, nimble.ErrCanceled), errors.Is(err, context.DeadlineExceeded))
 }

@@ -1,15 +1,17 @@
-// Quickstart: build a tiny dynamic model with an Any-shaped input, compile
-// it through the full Nimble pipeline, and run it on inputs of different
-// sizes with one executable.
+// Quickstart: build a tiny dynamic model with an Any-shaped input through
+// the public nimble/ir builder, compile it with nimble.Compile, inspect
+// its entry signature, and run it on inputs of different sizes with one
+// executable.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"nimble/internal/compiler"
-	"nimble/internal/ir"
-	"nimble/internal/tensor"
+	"nimble"
+	"nimble/ir"
+	"nimble/tensor"
 )
 
 func main() {
@@ -31,24 +33,31 @@ func main() {
 	fmt.Println("=== IR before compilation ===")
 	fmt.Println(ir.PrintModule(mod))
 
-	machine, res, err := compiler.CompileToVM(mod, compiler.Options{})
+	prog, err := nimble.Compile(mod)
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := prog.Stats()
 	fmt.Printf("compiled: %d instructions, %d kernels, fusion groups: %d\n\n",
-		res.Stats.Instructions, res.Stats.Kernels, res.Stats.Fusion.Groups)
+		st.Instructions, st.Kernels, st.FusionGroups)
+	for _, sig := range prog.Entrypoints() {
+		fmt.Printf("entry %s\n\n", sig)
+	}
 	fmt.Println("=== bytecode ===")
-	fmt.Println(res.Exe.Disassemble())
+	fmt.Println(prog.Disassemble())
 
 	// One executable, many shapes: the Any dimension is resolved at runtime
 	// by shape functions.
+	sess := prog.NewSession()
+	ctx := context.Background()
 	for _, rows := range []int{1, 3, 6} {
 		in := tensor.New(tensor.Float32, rows, 4)
 		in.Fill(0.5)
-		got, err := machine.InvokeTensors("main", in)
+		got, err := sess.Invoke(ctx, "main", nimble.TensorValue(in))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("input (%d, 4) -> output %v\n", rows, got.Shape())
+		ot, _ := got.Tensor()
+		fmt.Printf("input (%d, 4) -> output %v\n", rows, ot.Shape())
 	}
 }

@@ -1,43 +1,48 @@
 // Tree-LSTM example: inference over runtime-shaped trees (dynamic data
-// structures). The compiled program recurses over the Tree ADT with the
-// VM's AllocADT/GetTag/GetField/Invoke instructions.
+// structures) through the public API. Inputs are built as nested ADT
+// values; the compiled program recurses over the Tree ADT with the VM's
+// AllocADT/GetTag/GetField/Invoke instructions.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"time"
 
-	"nimble/internal/compiler"
-	"nimble/internal/data"
-	"nimble/internal/models"
-	"nimble/internal/vm"
+	"nimble"
+	"nimble/models"
 )
 
 func main() {
 	cfg := models.TreeLSTMConfig{Input: 64, Hidden: 64, Seed: 43}
 	m := models.NewTreeLSTM(cfg)
-	machine, _, err := compiler.CompileToVM(m.Module, compiler.Options{})
+	prog, err := nimble.Compile(m.Module)
 	if err != nil {
 		log.Fatal(err)
 	}
-	prof := vm.NewProfiler()
-	machine.SetProfiler(prof)
+	for _, sig := range prog.Entrypoints() {
+		fmt.Printf("entry %s\n", sig)
+	}
 
-	sst := data.NewSST(7)
-	for i := 0; i < 4; i++ {
-		words := sst.Words()
-		tree := models.RandomTree(sst.Rng(), words, cfg.Input)
-		obj := m.ToObject(tree)
+	sess := prog.NewSession()
+	sess.EnableProfiling()
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	for _, words := range []int{5, 12, 21, 34} {
+		tree := models.RandomTree(rng, words, cfg.Input)
+		obj := models.TreeValue(m, tree)
 		start := time.Now()
-		out, err := machine.Invoke("main", obj)
+		out, err := sess.Invoke(ctx, "main", obj)
 		lat := time.Since(start)
 		if err != nil {
 			log.Fatal(err)
 		}
+		t, _ := out.Tensor()
 		fmt.Printf("tree with %2d leaves (%2d nodes): root hidden %v in %v\n",
-			tree.Leaves(), tree.Nodes(), out.(*vm.TensorObj).T.Shape(), lat)
+			tree.Leaves(), tree.Nodes(), t.Shape(), lat)
 	}
 	fmt.Println("\nVM profile (note GetTag/If per tree node — the dynamic control flow):")
-	fmt.Print(prof.Summary())
+	fmt.Print(sess.Profile())
 }

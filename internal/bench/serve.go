@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,6 +30,9 @@ type ServeConfig struct {
 	Seed int64
 	// Batch enables the micro-batcher for the MLP rows.
 	Batch bool
+	// Model filters the sweep to one served model ("bert" or "mlp");
+	// empty runs all.
+	Model string
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -126,7 +130,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		jobs: len(bertIDs),
 		invoke: func(job int) (int, error) {
 			ids := bertIDs[job%len(bertIDs)]
-			_, err := bertPool.InvokeTensors("main", ids)
+			_, err := bertPool.InvokeTensors(context.Background(), "main", ids)
 			return ids.NumElements(), err
 		},
 	}
@@ -159,9 +163,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			in := mlpInputs[job%len(mlpInputs)]
 			var err error
 			if batcher != nil {
-				_, err = batcher.Invoke(in)
+				_, err = batcher.Invoke(context.Background(), in)
 			} else {
-				_, err = mlpPool.InvokeTensors("main", in)
+				_, err = mlpPool.InvokeTensors(context.Background(), "main", in)
 			}
 			return in.Shape()[0], err
 		},
@@ -173,7 +177,20 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		},
 	}
 
-	for _, m := range []servedModel{bertModel, mlpModel} {
+	served := []servedModel{bertModel, mlpModel}
+	if cfg.Model != "" {
+		var filtered []servedModel
+		for _, m := range served {
+			if m.name == cfg.Model || strings.HasPrefix(m.name, cfg.Model+"+") {
+				filtered = append(filtered, m)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("bench: no served model matches %q (bert | mlp)", cfg.Model)
+		}
+		served = filtered
+	}
+	for _, m := range served {
 		var base float64
 		var lastCoalesced int64
 		for _, clients := range cfg.Clients {

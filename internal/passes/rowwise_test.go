@@ -1,0 +1,130 @@
+package passes
+
+import (
+	"testing"
+
+	"nimble/internal/ir"
+	"nimble/internal/models"
+	"nimble/internal/tensor"
+)
+
+func TestRowSeparableModels(t *testing.T) {
+	mlp := models.NewMLP(models.MLPConfig{In: 8, Hidden: 16, Out: 4, Layers: 2, Seed: 1})
+	if !RowSeparable(mlp.Module.Funcs["main"]) {
+		t.Error("MLP main (dense/bias_add/relu over [Any, in]) should be row-separable")
+	}
+
+	// BERT leads with Any in and out, but attention mixes sequence
+	// positions; the analysis must not be fooled by the shape alone.
+	bert := models.NewBERT(models.BERTConfig{Layers: 1, Hidden: 16, Heads: 2, FFN: 32, Vocab: 50, MaxSeq: 16, Seed: 2})
+	if RowSeparable(bert.Module.Funcs["main"]) {
+		t.Error("BERT main must NOT be row-separable: attention couples rows")
+	}
+
+	// LSTM consumes an ADT list — not even a tensor parameter.
+	lstm := models.NewLSTM(models.LSTMConfig{Input: 8, Hidden: 8, Layers: 1, Seed: 3})
+	if RowSeparable(lstm.Module.Funcs["main"]) {
+		t.Error("LSTM main must NOT be row-separable: ADT input")
+	}
+}
+
+func TestRowSeparableStructural(t *testing.T) {
+	newFn := func(build func(b *ir.Builder, x *ir.Var) ir.Expr) *ir.Function {
+		x := ir.NewVar("x", ir.TT(tensor.Float32, ir.DimAny, 4))
+		b := ir.NewBuilder()
+		out := build(b, x)
+		return ir.NewFunc([]*ir.Var{x}, b.Finish(out), nil)
+	}
+	w := ir.Const(tensor.New(tensor.Float32, 4, 4))
+
+	if !RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.Op("tanh", b.Op("dense", x, w))
+	})) {
+		t.Error("dense+tanh should be row-separable")
+	}
+
+	// dense with a row-dependent right operand mixes rows (x @ x^T).
+	if RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.Op("dense", x, b.Op("transpose", x))
+	})) {
+		t.Error("x @ x^T must NOT be row-separable")
+	}
+
+	// concat along the leading axis interleaves row origins.
+	if RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.OpAttrs("concat", ir.Attrs{"axis": 0}, x, b.Op("tanh", x))
+	})) {
+		t.Error("concat on axis 0 must NOT be row-separable")
+	}
+	if !RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.OpAttrs("concat", ir.Attrs{"axis": 1}, x, b.Op("tanh", x))
+	})) {
+		t.Error("concat on axis 1 of row-wise values should be row-separable")
+	}
+
+	// softmax over a rank-1 value normalizes across the batch axis itself:
+	// concatenating two requests would couple them. Rank >= 2 is fine.
+	x1 := ir.NewVar("x", ir.TT(tensor.Float32, ir.DimAny))
+	b1 := ir.NewBuilder()
+	fn1 := ir.NewFunc([]*ir.Var{x1}, b1.Finish(b1.Op("softmax", x1)), nil)
+	if RowSeparable(fn1) {
+		t.Error("softmax over rank-1 [Any] must NOT be row-separable (trailing axis IS the batch axis)")
+	}
+	if !RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.Op("softmax", b.Op("dense", x, w))
+	})) {
+		t.Error("softmax over rank-2 [Any, d] should be row-separable")
+	}
+
+	// A row-free broadcast operand whose leading extent could align with
+	// the batch (add(x[Any,4], C[5,4]) type-checks per request) breaks
+	// under concatenation and must taint; rank-below and leading-1
+	// operands broadcast under the batch and are fine.
+	c54 := ir.Const(tensor.New(tensor.Float32, 5, 4))
+	if RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.Op("add", x, c54)
+	})) {
+		t.Error("add with a [5, 4] row-free operand must NOT be row-separable")
+	}
+	if !RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.Op("add", x, ir.Const(tensor.New(tensor.Float32, 4)))
+	})) {
+		t.Error("add with a rank-1 [4] bias should be row-separable")
+	}
+	if !RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.Op("add", x, ir.Const(tensor.New(tensor.Float32, 1, 4)))
+	})) {
+		t.Error("add with a leading-1 [1, 4] operand should be row-separable")
+	}
+
+	// bias_add on a rank-1 [Any] value consumes the merged batch as one
+	// vector — like softmax, it needs the rank >= 2 guard.
+	xb := ir.NewVar("x", ir.TT(tensor.Float32, ir.DimAny))
+	bb := ir.NewBuilder()
+	fnB := ir.NewFunc([]*ir.Var{xb},
+		bb.Finish(bb.Op("bias_add", xb, ir.Const(tensor.New(tensor.Float32, 4)))), nil)
+	if RowSeparable(fnB) {
+		t.Error("bias_add over rank-1 [Any] must NOT be row-separable")
+	}
+
+	// Negative concat axes normalize like the kernels: -2 on rank-2 IS the
+	// leading axis.
+	if RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.OpAttrs("concat", ir.Attrs{"axis": -2}, x, b.Op("tanh", x))
+	})) {
+		t.Error("concat on axis -2 (== 0 after normalization) must NOT be row-separable")
+	}
+	if !RowSeparable(newFn(func(b *ir.Builder, x *ir.Var) ir.Expr {
+		return b.OpAttrs("concat", ir.Attrs{"axis": -1}, x, b.Op("tanh", x))
+	})) {
+		t.Error("concat on axis -1 (trailing) should be row-separable")
+	}
+
+	// A static leading dimension has no request rows to split.
+	xs := ir.NewVar("x", ir.TT(tensor.Float32, 2, 4))
+	bs := ir.NewBuilder()
+	fn := ir.NewFunc([]*ir.Var{xs}, bs.Finish(bs.Op("tanh", xs)), nil)
+	if RowSeparable(fn) {
+		t.Error("static-batch function must NOT be batchable")
+	}
+}

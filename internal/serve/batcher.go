@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nimble/internal/kernels"
@@ -16,7 +18,8 @@ type BatchConfig struct {
 	// over [batch, features], not a BERT sequence whose positions attend to
 	// each other): the batcher concatenates requests along dim 0 and slices
 	// the result back apart, which is only a semantics-preserving rewrite
-	// when rows do not interact.
+	// when rows do not interact. passes.RowSeparable decides this from the
+	// IR; the public nimble.Service wires it automatically.
 	Entry string
 	// MaxBatch bounds how many requests one dispatch may coalesce
 	// (default 8).
@@ -45,6 +48,11 @@ func (c BatchConfig) withDefaults() BatchConfig {
 type batchReq struct {
 	in   *tensor.Tensor
 	resp chan batchResp
+	// canceled is set by the submitting goroutine when its context fires
+	// while the request is still queued; the collector drops flagged
+	// requests from the batch it is assembling, so one abandoned request
+	// does not ride along in (or fail) everyone else's dispatch.
+	canceled atomic.Bool
 }
 
 type batchResp struct {
@@ -78,6 +86,8 @@ type Batcher struct {
 	singles   int64 // dispatches of exactly one request
 	coalesced int64 // requests served by merged dispatches
 	fallbacks int64 // requests re-dispatched per-request after a batched failure
+	canceled  int64 // requests withdrawn from a pending batch by cancellation
+	overflows int64 // requests spilled to per-request dispatch by a full queue
 	largest   int   // largest merged batch
 }
 
@@ -95,22 +105,50 @@ func NewBatcher(pool *Pool, cfg BatchConfig) *Batcher {
 	return b
 }
 
-// Invoke submits one request and blocks for its result. The input must be
-// a tensor of rank >= 1 whose leading dimension is the request's row count.
-func (b *Batcher) Invoke(in *tensor.Tensor) (*tensor.Tensor, error) {
+// Invoke submits one request and blocks for its result or the context. The
+// input must be a tensor of rank >= 1 whose leading dimension is the
+// request's row count. When ctx fires while the request is still queued,
+// the request is withdrawn from its pending batch (the rest of the batch
+// dispatches normally) and the error wraps ErrCanceled and ctx.Err(); when
+// it fires mid-dispatch the computation completes on the pool but the
+// caller returns immediately with the same error.
+func (b *Batcher) Invoke(ctx context.Context, in *tensor.Tensor) (*tensor.Tensor, error) {
 	if in == nil || in.Rank() == 0 {
 		return nil, fmt.Errorf("serve: batchable entry %q requires a rank>=1 tensor input", b.cfg.Entry)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Canceled(err)
 	}
 	r := &batchReq{in: in, resp: make(chan batchResp, 1)}
 	b.closeMu.RLock()
 	if b.closed {
 		b.closeMu.RUnlock()
-		return nil, fmt.Errorf("serve: batcher is closed")
+		return nil, fmt.Errorf("serve: batcher: %w", ErrClosed)
 	}
-	b.queue <- r
-	b.closeMu.RUnlock()
-	resp := <-r.resp
-	return resp.out, resp.err
+	select {
+	case b.queue <- r:
+		b.closeMu.RUnlock()
+	default:
+		// Queue full: overflow straight to the pool instead of blocking —
+		// a blocking send here would hold closeMu against Close (wedging
+		// graceful shutdown) and ignore the caller's context. Under
+		// saturation per-request dispatch is the natural spillover; the
+		// pool checkout below still honors ctx.
+		b.closeMu.RUnlock()
+		b.mu.Lock()
+		b.overflows++
+		b.mu.Unlock()
+		return b.pool.InvokeTensors(ctx, b.cfg.Entry, in)
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.out, resp.err
+	case <-ctx.Done():
+		// The response channel is buffered, so a dispatch racing this
+		// cancellation parks its answer there and nothing leaks.
+		r.canceled.Store(true)
+		return nil, Canceled(ctx.Err())
+	}
 }
 
 // Close stops the collector; requests already accepted are still
@@ -128,7 +166,9 @@ func (b *Batcher) Close() {
 }
 
 // collect is the scheduler loop: take one request, wait at most MaxDelay
-// for up to MaxBatch-1 more, then dispatch compatible groups.
+// for up to MaxBatch-1 more, then dispatch compatible groups. Requests
+// whose submitter canceled while queued are dropped here — removing them
+// from the pending batch — and counted.
 func (b *Batcher) collect() {
 	defer b.wg.Done()
 	for {
@@ -153,6 +193,7 @@ func (b *Batcher) collect() {
 			}
 		}
 		timer.Stop()
+		batch = b.dropCanceled(batch)
 		for _, group := range groupCompatible(batch) {
 			g := group
 			b.wg.Add(1)
@@ -167,11 +208,33 @@ func (b *Batcher) collect() {
 	}
 }
 
+// dropCanceled filters requests whose submitters gave up while queued.
+func (b *Batcher) dropCanceled(batch []*batchReq) []*batchReq {
+	live := batch[:0]
+	dropped := 0
+	for _, r := range batch {
+		if r.canceled.Load() {
+			dropped++
+			continue
+		}
+		live = append(live, r)
+	}
+	if dropped > 0 {
+		b.mu.Lock()
+		b.canceled += int64(dropped)
+		b.mu.Unlock()
+	}
+	return live
+}
+
 // drain serves whatever is still queued at Close time, per-request.
 func (b *Batcher) drain() {
 	for {
 		select {
 		case r := <-b.queue:
+			if r.canceled.Load() {
+				continue
+			}
 			b.wg.Add(1)
 			go b.dispatch([]*batchReq{r})
 		default:
@@ -190,6 +253,9 @@ func batchKey(t *tensor.Tensor) string {
 // groupCompatible partitions a batch into pad-free concatenation groups,
 // preserving arrival order within each group.
 func groupCompatible(batch []*batchReq) [][]*batchReq {
+	if len(batch) == 0 {
+		return nil
+	}
 	if len(batch) == 1 {
 		return [][]*batchReq{batch}
 	}
@@ -229,8 +295,15 @@ func (b *Batcher) dispatch(group []*batchReq) {
 			}
 		}
 	}()
+	// The merged dispatch runs under the background context: individual
+	// submitters' deadlines detach at their own resp/ctx select, and one
+	// request's cancellation must not fail its batch-mates.
+	ctx := context.Background()
 	if len(group) == 1 {
-		out, err := b.pool.InvokeTensors(b.cfg.Entry, group[0].in)
+		if group[0].canceled.Load() {
+			return // withdrawn after grouping; nobody reads the answer
+		}
+		out, err := b.pool.InvokeTensors(ctx, b.cfg.Entry, group[0].in)
 		b.mu.Lock()
 		b.singles++
 		b.mu.Unlock()
@@ -244,7 +317,7 @@ func (b *Batcher) dispatch(group []*batchReq) {
 		rows += r.in.Shape()[0]
 	}
 	merged := kernels.Concat(ins, 0)
-	out, err := b.pool.InvokeTensors(b.cfg.Entry, merged)
+	out, err := b.pool.InvokeTensors(ctx, b.cfg.Entry, merged)
 	if err == nil && (out.Rank() == 0 || out.Shape()[0] != rows) {
 		// The entry did not map rows to rows — it is not batchable for
 		// these inputs. Re-dispatching per request preserves semantics.
@@ -256,7 +329,10 @@ func (b *Batcher) dispatch(group []*batchReq) {
 		b.fallbacks += int64(len(group))
 		b.mu.Unlock()
 		for _, r := range group {
-			o, e := b.pool.InvokeTensors(b.cfg.Entry, r.in)
+			if r.canceled.Load() {
+				continue // withdrawn mid-dispatch: don't pay a re-run nobody reads
+			}
+			o, e := b.pool.InvokeTensors(ctx, b.cfg.Entry, r.in)
 			r.resp <- batchResp{out: o, err: e}
 		}
 		return
@@ -284,6 +360,8 @@ type BatchStats struct {
 	Singles      int64  `json:"singles"`
 	Coalesced    int64  `json:"coalesced_requests"`
 	Fallbacks    int64  `json:"fallback_requests"`
+	Canceled     int64  `json:"canceled_requests"`
+	Overflows    int64  `json:"overflow_requests"`
 	LargestBatch int    `json:"largest_batch"`
 }
 
@@ -298,6 +376,8 @@ func (b *Batcher) Stats() BatchStats {
 		Singles:      b.singles,
 		Coalesced:    b.coalesced,
 		Fallbacks:    b.fallbacks,
+		Canceled:     b.canceled,
+		Overflows:    b.overflows,
 		LargestBatch: b.largest,
 	}
 }

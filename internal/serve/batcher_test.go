@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -32,7 +34,7 @@ func TestBatcherMatchesPerRequest(t *testing.T) {
 	for i := range inputs {
 		inputs[i] = m.RandomBatch(rng, 1+i%3)
 		var err error
-		want[i], err = p.InvokeTensors("main", inputs[i])
+		want[i], err = p.InvokeTensors(context.Background(), "main", inputs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +44,7 @@ func TestBatcherMatchesPerRequest(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := b.Invoke(inputs[i])
+			out, err := b.Invoke(context.Background(), inputs[i])
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
@@ -94,10 +96,10 @@ func TestBatcherRaggedInputsStayPadFree(t *testing.T) {
 
 func TestBatcherRejectsScalar(t *testing.T) {
 	_, _, b := newBatcherUnderTest(t, 4, time.Millisecond)
-	if _, err := b.Invoke(tensor.Scalar(1)); err == nil {
+	if _, err := b.Invoke(context.Background(), tensor.Scalar(1)); err == nil {
 		t.Error("scalar input accepted by batcher")
 	}
-	if _, err := b.Invoke(nil); err == nil {
+	if _, err := b.Invoke(context.Background(), nil); err == nil {
 		t.Error("nil input accepted by batcher")
 	}
 }
@@ -105,11 +107,11 @@ func TestBatcherRejectsScalar(t *testing.T) {
 func TestBatcherClose(t *testing.T) {
 	m, _, b := newBatcherUnderTest(t, 4, time.Millisecond)
 	in := m.RandomBatch(rand.New(rand.NewSource(2)), 1)
-	if _, err := b.Invoke(in); err != nil {
+	if _, err := b.Invoke(context.Background(), in); err != nil {
 		t.Fatal(err)
 	}
 	b.Close()
-	if _, err := b.Invoke(in); err == nil {
+	if _, err := b.Invoke(context.Background(), in); err == nil {
 		t.Error("Invoke on closed batcher succeeded")
 	}
 }
@@ -121,18 +123,64 @@ func TestBatcherConvertsKernelPanicToError(t *testing.T) {
 	// the group — rather than letting the panic kill the process.
 	m, p, b := newBatcherUnderTest(t, 4, time.Millisecond)
 	bad := tensor.New(tensor.Float32, 1, 7) // model expects 16 features
-	if _, err := b.Invoke(bad); err == nil {
+	if _, err := b.Invoke(context.Background(), bad); err == nil {
 		t.Fatal("mis-shaped request did not error")
 	}
 	// The batcher and pool keep serving afterwards.
 	good := m.RandomBatch(rand.New(rand.NewSource(4)), 2)
-	if _, err := b.Invoke(good); err != nil {
+	if _, err := b.Invoke(context.Background(), good); err != nil {
 		t.Fatalf("batcher wedged after panic: %v", err)
 	}
 	if st := p.Stats(); st.InFlight != 0 {
 		t.Errorf("session leaked after panic: %+v", st)
 	}
 }
+
+func TestBatcherFullQueueOverflowsToPool(t *testing.T) {
+	// A full queue must not block Invoke (that would hold closeMu against
+	// Close and ignore the caller's context): excess requests spill to
+	// per-request dispatch over the pool, and Close stays prompt.
+	m, res := compileMLP(t)
+	p, err := NewPool(res.Exe, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White-box: no collector goroutine, so a primed 1-slot queue STAYS
+	// full and the overflow path is deterministic.
+	b := &Batcher{
+		pool:  p,
+		cfg:   BatchConfig{Entry: "main"}.withDefaults(),
+		queue: make(chan *batchReq, 1),
+		done:  make(chan struct{}),
+	}
+	in := m.RandomBatch(rand.New(rand.NewSource(5)), 1)
+	b.queue <- &batchReq{in: in, resp: make(chan batchResp, 1)} // fill the queue
+
+	result := make(chan error, 1)
+	go func() {
+		out, err := b.Invoke(context.Background(), in)
+		if err == nil && out == nil {
+			err = errContext("nil output")
+		}
+		result <- err
+	}()
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("overflow request failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Invoke blocked on a full queue instead of spilling to the pool")
+	}
+	if st := b.Stats(); st.Overflows != 1 {
+		t.Errorf("Overflows = %d, want 1", st.Overflows)
+	}
+	if len(b.queue) != 1 {
+		t.Errorf("overflow request should not have entered the queue (len %d)", len(b.queue))
+	}
+}
+
+func errContext(msg string) error { return fmt.Errorf("batcher overflow: %s", msg) }
 
 func TestBatcherCloseAnswersAcceptedRequests(t *testing.T) {
 	// Close must wait for accepted requests: a client blocked in Invoke
@@ -143,7 +191,7 @@ func TestBatcherCloseAnswersAcceptedRequests(t *testing.T) {
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func() {
-			_, err := b.Invoke(in)
+			_, err := b.Invoke(context.Background(), in)
 			errs <- err
 		}()
 	}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrClosed reports an operation on a closed pool, batcher, session, or
+// service. The public nimble package re-exports this sentinel, so
+// errors.Is(err, ErrClosed) holds across every layer of the stack.
+var ErrClosed = errors.New("nimble: closed")
+
+// ErrCanceled reports an invocation abandoned because its context was
+// canceled or timed out. Errors returned from cancelable paths wrap BOTH
+// this sentinel and the underlying context error, so callers may test with
+// errors.Is against ErrCanceled, context.Canceled, or
+// context.DeadlineExceeded interchangeably.
+var ErrCanceled = errors.New("nimble: canceled")
+
+// canceledError wraps a context error so it matches ErrCanceled too.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string { return "nimble: canceled: " + e.cause.Error() }
+
+// Is makes errors.Is(err, ErrCanceled) true; the cause (context.Canceled or
+// context.DeadlineExceeded) is matched through Unwrap.
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+func (e *canceledError) Unwrap() error { return e.cause }
+
+// Canceled wraps a context error (ctx.Err()) into the canceled form. A nil
+// cause degrades to context.Canceled so double-faulted paths still produce
+// a well-formed error.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &canceledError{cause: cause}
+}
+
+// WrapCtxErr lifts a bare context error (what the VM dispatch loop returns
+// when a deadline fires mid-run) into the ErrCanceled family; every other
+// error — including ones already wrapped — passes through unchanged. The
+// public nimble package shares this classification so both layers agree on
+// what counts as a cancellation.
+func WrapCtxErr(err error) error {
+	if err == nil || errors.Is(err, ErrCanceled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &canceledError{cause: err}
+	}
+	return err
+}

@@ -6,9 +6,16 @@
 // profiler). Requests check a session out, run, and return it; a
 // micro-batcher (Batcher) additionally coalesces compatible requests for
 // batchable entry points so one kernel dispatch serves many clients.
+//
+// Every blocking path accepts a context.Context: Acquire abandons its wait
+// when the context is canceled (without consuming a session), and Batcher
+// requests can be withdrawn from a pending batch. Cancellation errors wrap
+// both ErrCanceled and the underlying context error.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,20 +39,34 @@ type Session struct {
 	invocations atomic.Int64
 }
 
-// Invoke runs the named entry function on this session.
-func (s *Session) Invoke(name string, args ...vm.Object) (vm.Object, error) {
+// Invoke runs the named entry function on this session. The context is
+// checked at VM call boundaries, so a deep recursion (an LSTM stepping a
+// long sequence) notices cancellation mid-run.
+func (s *Session) Invoke(ctx context.Context, name string, args ...vm.Object) (vm.Object, error) {
 	s.invocations.Add(1)
-	return s.machine.Invoke(name, args...)
+	out, err := s.machine.InvokeContext(ctx, name, args...)
+	return out, WrapCtxErr(err)
 }
 
 // InvokeTensors is the tensors-in, tensor-out convenience form.
-func (s *Session) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+func (s *Session) InvokeTensors(ctx context.Context, name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
 	s.invocations.Add(1)
-	return s.machine.InvokeTensors(name, args...)
+	out, err := s.machine.InvokeTensorsContext(ctx, name, args...)
+	return out, WrapCtxErr(err)
 }
 
 // ID returns the session's index within its pool.
 func (s *Session) ID() int { return s.id }
+
+// waiter is one goroutine parked in Acquire with no free session. Release
+// hands a session directly to the oldest live waiter (ownership transfers
+// without touching the free stack); Close delivers nil, which the waiter
+// reads as ErrClosed. The channel is buffered so the handoff never blocks
+// the releasing goroutine.
+type waiter struct {
+	ch chan *Session
+	id uint64
+}
 
 // Pool shares one immutable executable across nWorkers VM sessions with
 // LIFO checkout: the most recently released session is handed out first,
@@ -55,11 +76,13 @@ func (s *Session) ID() int { return s.id }
 type Pool struct {
 	exe *vm.Executable
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	free   []*Session // LIFO stack
-	all    []*Session
-	closed bool
+	mu       sync.Mutex
+	free     []*Session // LIFO stack
+	all      []*Session
+	waiters  []*waiter          // FIFO queue of parked Acquires
+	waiterID map[uint64]*waiter // live waiters, for O(1) cancel removal
+	nextWait uint64
+	closed   bool
 
 	// stats. inFlight/peakInUse/waits/waitTime piggyback on the checkout
 	// lock; invocations/errors are atomic so the result path does not take
@@ -86,8 +109,7 @@ func NewPool(exe *vm.Executable, nWorkers int) (*Pool, error) {
 		}
 	}
 	exe.Freeze()
-	p := &Pool{exe: exe}
-	p.cond = sync.NewCond(&p.mu)
+	p := &Pool{exe: exe, waiterID: map[uint64]*waiter{}}
 	for i := 0; i < nWorkers; i++ {
 		m := vm.New(exe)
 		m.MarkPooled()
@@ -104,82 +126,169 @@ func (p *Pool) Executable() *vm.Executable { return p.exe }
 // Size returns the number of sessions the pool owns.
 func (p *Pool) Size() int { return len(p.all) }
 
-// Acquire checks out a session, blocking until one is free. It returns an
-// error only when the pool has been closed.
-func (p *Pool) Acquire() (*Session, error) {
+// Acquire checks out a session, blocking until one is free, the context is
+// canceled, or the pool is closed. A canceled context returns an error
+// wrapping ErrCanceled and ctx.Err() without consuming a session — a
+// pre-canceled context never joins the wait queue at all. A closed pool
+// returns ErrClosed.
+func (p *Pool) Acquire(ctx context.Context) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Canceled(err)
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.free) == 0 && !p.closed {
-		p.waits++
-		start := time.Now()
-		for len(p.free) == 0 && !p.closed {
-			p.cond.Wait()
-		}
-		p.waitTime += time.Since(start)
-	}
 	if p.closed {
-		return nil, fmt.Errorf("serve: pool is closed")
+		p.mu.Unlock()
+		return nil, fmt.Errorf("serve: pool: %w", ErrClosed)
 	}
-	s := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.checkoutLocked()
+		p.mu.Unlock()
+		return s, nil
+	}
+	// No session free: park. Release hands a session straight to the oldest
+	// live waiter; cancellation removes the waiter from the live set so the
+	// handoff skips it.
+	w := &waiter{ch: make(chan *Session, 1), id: p.nextWait}
+	p.nextWait++
+	p.waiters = append(p.waiters, w)
+	p.waiterID[w.id] = w
+	p.waits++
+	start := time.Now()
+	p.mu.Unlock()
+
+	select {
+	case s := <-w.ch:
+		if s == nil {
+			return nil, fmt.Errorf("serve: pool: %w", ErrClosed)
+		}
+		p.mu.Lock()
+		p.waitTime += time.Since(start)
+		p.mu.Unlock()
+		return s, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if _, live := p.waiterID[w.id]; live {
+			delete(p.waiterID, w.id)
+			// Dead waiters normally drain when a Release walks the queue;
+			// under retry storms with no Release in sight (one long run
+			// holding every session), compact eagerly so the queue stays
+			// proportional to the live waiters.
+			if len(p.waiters) > 16 && len(p.waiters) > 2*len(p.waiterID) {
+				kept := p.waiters[:0]
+				for _, lw := range p.waiters {
+					if _, ok := p.waiterID[lw.id]; ok {
+						kept = append(kept, lw)
+					}
+				}
+				clear(p.waiters[len(kept):])
+				p.waiters = kept
+			}
+			p.mu.Unlock()
+			return nil, Canceled(ctx.Err())
+		}
+		p.mu.Unlock()
+		// A session (or the close marker) was handed off concurrently with
+		// the cancellation; the session must not leak out of the pool.
+		if s := <-w.ch; s != nil {
+			p.Release(s)
+		}
+		return nil, Canceled(ctx.Err())
+	}
+}
+
+// checkoutLocked updates checkout stats; the caller holds p.mu.
+func (p *Pool) checkoutLocked() {
 	p.inFlight++
 	if p.inFlight > p.peakInUse {
 		p.peakInUse = p.inFlight
 	}
-	return s, nil
 }
 
-// Release returns a session to the pool's LIFO stack.
+// Release returns a session to the pool. If an Acquire is parked, the
+// session transfers directly (it stays in flight, just under a new owner);
+// otherwise it joins the LIFO free stack.
 func (p *Pool) Release(s *Session) {
 	p.mu.Lock()
+	if w := p.popWaiterLocked(); w != nil {
+		p.mu.Unlock()
+		w.ch <- s
+		return
+	}
 	p.free = append(p.free, s)
 	p.inFlight--
 	p.mu.Unlock()
-	p.cond.Signal()
+}
+
+// popWaiterLocked dequeues the oldest waiter that has not canceled, or nil.
+func (p *Pool) popWaiterLocked() *waiter {
+	for len(p.waiters) > 0 {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		if _, live := p.waiterID[w.id]; live {
+			delete(p.waiterID, w.id)
+			return w
+		}
+	}
+	return nil
 }
 
 // Invoke checks out a session, runs the entry function, and returns the
 // session before reporting the result. Safe for any number of concurrent
-// callers; calls beyond the pool size queue on the checkout.
-func (p *Pool) Invoke(name string, args ...vm.Object) (vm.Object, error) {
-	s, err := p.Acquire()
+// callers; calls beyond the pool size queue on the checkout, and the queue
+// wait is abandoned when ctx is canceled.
+func (p *Pool) Invoke(ctx context.Context, name string, args ...vm.Object) (vm.Object, error) {
+	s, err := p.Acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	// Release via defer: a panicking kernel (shape violation surfaced at
 	// dispatch) must not leak the session out of the pool.
 	defer p.Release(s)
-	out, err := s.Invoke(name, args...)
+	out, err := s.Invoke(ctx, name, args...)
 	p.note(err)
 	return out, err
 }
 
 // InvokeTensors is the tensors-in, tensor-out form of Invoke.
-func (p *Pool) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
-	s, err := p.Acquire()
+func (p *Pool) InvokeTensors(ctx context.Context, name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+	s, err := p.Acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer p.Release(s)
-	out, err := s.InvokeTensors(name, args...)
+	out, err := s.InvokeTensors(ctx, name, args...)
 	p.note(err)
 	return out, err
 }
 
 func (p *Pool) note(err error) {
 	p.invocations.Add(1)
-	if err != nil {
+	// Client-initiated cancellations are not execution failures; counting
+	// them would let request deadlines inflate the pool's error rate.
+	if err != nil && !errors.Is(err, ErrCanceled) {
 		p.errors.Add(1)
 	}
 }
 
-// Close marks the pool closed; blocked and future Acquires fail. Sessions
-// already checked out may finish and Release normally.
+// Close marks the pool closed; blocked and future Acquires fail with
+// ErrClosed. Sessions already checked out may finish and Release normally.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true
+	var parked []*waiter
+	for {
+		w := p.popWaiterLocked()
+		if w == nil {
+			break
+		}
+		parked = append(parked, w)
+	}
 	p.mu.Unlock()
-	p.cond.Broadcast()
+	for _, w := range parked {
+		w.ch <- nil // read as ErrClosed by the waiter
+	}
 }
 
 // Stats is a snapshot of pool counters.

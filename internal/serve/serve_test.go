@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -57,7 +58,7 @@ func TestPoolMatchesSingleSession(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := p.InvokeTensors("main", inputs[i])
+			out, err := p.InvokeTensors(context.Background(), "main", inputs[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -98,12 +99,12 @@ func TestPoolLIFOCheckout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := p.Acquire()
-	b, _ := p.Acquire()
+	a, _ := p.Acquire(context.Background())
+	b, _ := p.Acquire(context.Background())
 	p.Release(a)
 	p.Release(b)
 	// b was released last, so LIFO hands it back first.
-	got, _ := p.Acquire()
+	got, _ := p.Acquire(context.Background())
 	if got != b {
 		t.Errorf("checkout is not LIFO: got session %d, want %d", got.ID(), b.ID())
 	}
@@ -119,7 +120,7 @@ func TestPoolSerialInvocationsStayOnOneSession(t *testing.T) {
 	in := models.NewMLP(models.MLPConfig{In: 16, Hidden: 32, Out: 8, Layers: 2, Seed: 45}).
 		RandomBatch(rand.New(rand.NewSource(3)), 2)
 	for i := 0; i < 10; i++ {
-		if _, err := p.InvokeTensors("main", in); err != nil {
+		if _, err := p.InvokeTensors(context.Background(), "main", in); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -144,10 +145,10 @@ func TestPoolClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, _ := p.Acquire()
+	s, _ := p.Acquire(context.Background())
 	released := make(chan error, 1)
 	go func() {
-		_, err := p.Acquire() // blocks: the only session is out
+		_, err := p.Acquire(context.Background()) // blocks: the only session is out
 		released <- err
 	}()
 	p.Close()
@@ -155,7 +156,7 @@ func TestPoolClose(t *testing.T) {
 		t.Error("Acquire on closed pool succeeded")
 	}
 	p.Release(s) // releasing after close must not panic
-	if _, err := p.Acquire(); err == nil {
+	if _, err := p.Acquire(context.Background()); err == nil {
 		t.Error("Acquire after close succeeded")
 	}
 }

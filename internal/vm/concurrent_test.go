@@ -8,6 +8,7 @@ package vm_test
 // and runtime shape functions on every dense).
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -66,7 +67,7 @@ func TestConcurrentLSTMViaSessionPool(t *testing.T) {
 			defer wg.Done()
 			for iter := 0; iter < 8; iter++ {
 				j := jobs[(c+iter)%len(jobs)]
-				out, err := pool.Invoke("main", j.seq)
+				out, err := pool.Invoke(context.Background(), "main", j.seq)
 				if err != nil {
 					t.Errorf("client %d iter %d: %v", c, iter, err)
 					return
@@ -125,7 +126,7 @@ func TestConcurrentBERTLayerViaSessionPool(t *testing.T) {
 			defer wg.Done()
 			for iter := 0; iter < 4; iter++ {
 				j := jobs[(c*3+iter)%len(jobs)]
-				got, err := pool.InvokeTensors("main", j.ids)
+				got, err := pool.InvokeTensors(context.Background(), "main", j.ids)
 				if err != nil {
 					t.Errorf("client %d iter %d: %v", c, iter, err)
 					return
@@ -164,13 +165,13 @@ func TestSessionStorageReuseSurvivesPooling(t *testing.T) {
 	const steps = 8
 	seq := m.RandomSequence(rng, steps)
 
-	s, err := pool.Acquire()
+	s, err := pool.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Release(s)
 	run := func() {
-		if _, err := s.Invoke("main", seq); err != nil {
+		if _, err := s.Invoke(context.Background(), "main", seq); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
@@ -86,20 +87,38 @@ func (vm *VM) MarkPooled() { vm.pooled = true }
 
 // Invoke runs the named function on args and returns its result.
 func (vm *VM) Invoke(name string, args ...Object) (Object, error) {
+	return vm.InvokeContext(context.Background(), name, args...)
+}
+
+// InvokeContext runs the named function on args, checking ctx at call
+// boundaries: entry, every function call (OpInvoke/OpInvokeClosure — the
+// IR's loop construct is recursion, so long-running dynamic models cross
+// one per timestep/tree node), and backward jumps. A background context
+// adds no per-instruction work: the done channel is captured once and a
+// nil channel skips every check.
+func (vm *VM) InvokeContext(ctx context.Context, name string, args ...Object) (Object, error) {
 	idx, err := vm.exe.EntryFunc(name)
 	if err != nil {
 		return nil, err
 	}
-	return vm.run(idx, args)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return vm.run(ctx, idx, args)
 }
 
 // InvokeTensors is a convenience wrapper: tensors in, tensor out.
 func (vm *VM) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return vm.InvokeTensorsContext(context.Background(), name, args...)
+}
+
+// InvokeTensorsContext is the context-aware form of InvokeTensors.
+func (vm *VM) InvokeTensorsContext(ctx context.Context, name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
 	objs := make([]Object, len(args))
 	for i, a := range args {
 		objs[i] = NewTensorObj(a)
 	}
-	out, err := vm.Invoke(name, objs...)
+	out, err := vm.InvokeContext(ctx, name, objs...)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +190,7 @@ func (vm *VM) freeFrame(f *frame) {
 }
 
 // run executes the dispatch loop starting from fnIdx.
-func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
+func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error) {
 	f, err := vm.newFrame(fnIdx, args)
 	if err != nil {
 		return nil, err
@@ -182,6 +201,9 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 	stack := []*frame{f}
 	code := vm.exe.Code
 	prof := vm.prof
+	// done is nil for context.Background(), making every cancellation check
+	// below a single nil comparison on the hot path.
+	done := ctx.Done()
 
 	for {
 		fr := stack[len(stack)-1]
@@ -226,6 +248,13 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 			if len(stack) >= vm.maxDepth {
 				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
 			}
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			// Stage the arguments in the shared scratch: newFrame copies them
 			// into the callee's registers before returning.
 			callArgs := vm.objScratch[:0]
@@ -245,6 +274,13 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 		case OpInvokeClosure:
 			if len(stack) >= vm.maxDepth {
 				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
 			}
 			clo, ok := fr.regs[in.A].(*Closure)
 			if !ok {
@@ -356,6 +392,14 @@ func (vm *VM) run(fnIdx int, args []Object) (Object, error) {
 			}
 
 		case OpGoto:
+			if done != nil && in.Off1 < 0 {
+				// Backward jump: the only way bytecode loops without a call.
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			fr.pc += in.Off1
 
 		case OpLoadConst:

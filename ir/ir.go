@@ -1,0 +1,155 @@
+// Package ir is the public model-building vocabulary of Nimble: typed IR
+// expressions with let-binding, control flow, tuples, closures, and
+// algebraic data types, plus the paper's dynamic extensions — tensor types
+// with statically unknown (Any) dimensions. Build a Module with a Builder,
+// then hand it to nimble.Compile.
+//
+// This package is a thin, stable re-export of the compiler's internal IR:
+// every type is an alias, so values built here flow directly into the
+// toolchain. The wider internal surface (passes, the explicit-allocation
+// dialect, operator registration) stays internal.
+package ir
+
+import (
+	iir "nimble/internal/ir"
+	"nimble/internal/tensor"
+)
+
+// DimAny is the sentinel extent of a dimension unknown until runtime —
+// the paper's special Any dimension.
+const DimAny = iir.DimAny
+
+// Core structure: modules, functions, and the let-chain builder.
+type (
+	// Module is a compilation unit: named functions plus ADT declarations.
+	// The function named "main" is the conventional entry point.
+	Module = iir.Module
+	// Builder accumulates a let-chain, the idiomatic way model front-ends
+	// construct IR.
+	Builder = iir.Builder
+	// Function is a function literal: parameters, body, optional declared
+	// return type.
+	Function = iir.Function
+	// Expr is the interface of all IR expression nodes.
+	Expr = iir.Expr
+	// Var is a local variable (compared by pointer identity).
+	Var = iir.Var
+	// GlobalVar names a function in the module (for recursive calls).
+	GlobalVar = iir.GlobalVar
+	// Constant wraps a tensor literal (weights, biases).
+	Constant = iir.Constant
+	// Call applies an operator, global function, or constructor.
+	Call = iir.Call
+	// Let binds a value within a body.
+	Let = iir.Let
+	// If is two-way control flow on a scalar condition.
+	If = iir.If
+	// Tuple builds a fixed-arity tuple; TupleGet projects a field.
+	Tuple    = iir.Tuple
+	TupleGet = iir.TupleGet
+	// Match branches on an ADT value's constructor (dynamic control flow).
+	Match = iir.Match
+	// Clause is one arm of a Match.
+	Clause = iir.Clause
+	// Pattern matches a constructor and binds its fields.
+	Pattern = iir.Pattern
+	// Attrs carries operator attributes (axis, stride, ...).
+	Attrs = iir.Attrs
+)
+
+// Types.
+type (
+	// Type is the interface of all IR types.
+	Type = iir.Type
+	// TensorType is an n-dimensional tensor type whose dims may be Any.
+	TensorType = iir.TensorType
+	// Dim is one dimension: a concrete extent or Any.
+	Dim = iir.Dim
+	// TupleType / FuncType / ADTType mirror the value forms.
+	TupleType = iir.TupleType
+	FuncType  = iir.FuncType
+	ADTType   = iir.ADTType
+	// TypeDef declares an algebraic data type; Constructor is one variant.
+	TypeDef     = iir.TypeDef
+	Constructor = iir.Constructor
+)
+
+// Device identifies an execution device for placement.
+type Device = iir.Device
+
+// NewModule creates an empty module.
+func NewModule() *Module { return iir.NewModule() }
+
+// NewBuilder creates an empty let-chain builder.
+func NewBuilder() *Builder { return iir.NewBuilder() }
+
+// NewVar creates a variable with an optional type annotation.
+func NewVar(name string, ann Type) *Var { return iir.NewVar(name, ann) }
+
+// NewFunc builds a function literal; ret may be nil for inferred returns.
+func NewFunc(params []*Var, body Expr, ret Type) *Function {
+	return iir.NewFunc(params, body, ret)
+}
+
+// NewCall applies a callee to arguments; attrs may be nil.
+func NewCall(callee Expr, args []Expr, attrs Attrs) *Call {
+	return iir.NewCall(callee, args, attrs)
+}
+
+// CallOp builds a call to a registered operator by name.
+func CallOp(name string, args ...Expr) *Call { return iir.CallOp(name, args...) }
+
+// CallOpAttrs builds a call to a registered operator with attributes.
+func CallOpAttrs(name string, attrs Attrs, args ...Expr) *Call {
+	return iir.CallOpAttrs(name, attrs, args...)
+}
+
+// Const wraps a tensor literal as an IR constant.
+func Const(v *tensor.Tensor) *Constant { return iir.Const(v) }
+
+// ConstScalar builds a float32 scalar constant.
+func ConstScalar(v float32) *Constant { return iir.ConstScalar(v) }
+
+// ConstScalarI64 builds an int64 scalar constant.
+func ConstScalarI64(v int64) *Constant { return iir.ConstScalarI64(v) }
+
+// ConstBool builds a boolean scalar constant.
+func ConstBool(v bool) *Constant { return iir.ConstBool(v) }
+
+// TT builds a TensorType from int dims, where DimAny (-1) denotes Any.
+func TT(dt tensor.DType, dims ...int) *TensorType { return iir.TT(dt, dims...) }
+
+// ScalarType returns a rank-0 tensor type.
+func ScalarType(dt tensor.DType) *TensorType { return iir.ScalarType(dt) }
+
+// StaticDim returns a concrete dimension; AnyDim an unknown one.
+func StaticDim(n int) Dim { return iir.StaticDim(n) }
+func AnyDim() Dim         { return iir.AnyDim() }
+
+// NewTypeDef declares an ADT and assigns constructor tags.
+func NewTypeDef(name string, ctors ...*Constructor) *TypeDef {
+	return iir.NewTypeDef(name, ctors...)
+}
+
+// NewConstructor creates an unattached constructor for NewTypeDef.
+func NewConstructor(name string, fields ...Type) *Constructor {
+	return iir.NewConstructor(name, fields...)
+}
+
+// VarPat binds a matched field to a variable; CtorPat matches a
+// constructor with sub-patterns.
+func VarPat(v *Var) *Pattern { return iir.VarPat(v) }
+func CtorPat(c *Constructor, sub ...*Pattern) *Pattern {
+	return iir.CtorPat(c, sub...)
+}
+
+// CPU and GPU name placement targets for nimble.WithTarget.
+func CPU(id int) Device { return iir.CPU(id) }
+func GPU(id int) Device { return iir.GPU(id) }
+
+// Print renders an expression; PrintModule renders a whole module.
+func Print(e Expr) string          { return iir.Print(e) }
+func PrintModule(m *Module) string { return iir.PrintModule(m) }
+
+// OpNames lists all registered primitive operators, sorted.
+func OpNames() []string { return iir.OpNames() }

@@ -1,0 +1,150 @@
+package nimble
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"nimble/internal/serve"
+	"nimble/internal/vm"
+)
+
+// ServiceConfig parameterizes Program.NewService. The zero value is a
+// sensible production default: GOMAXPROCS sessions, micro-batching enabled
+// for every entry the compiler proved row-separable.
+type ServiceConfig struct {
+	// Workers is the session-pool size (default GOMAXPROCS).
+	Workers int
+	// DisableBatching turns micro-batching off; every request then
+	// dispatches individually over the pool.
+	DisableBatching bool
+	// MaxBatch bounds how many requests one dispatch may coalesce
+	// (default 16).
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company (default 200µs).
+	MaxDelay time.Duration
+}
+
+// PoolStats re-exports the session-pool counters.
+type PoolStats = serve.Stats
+
+// BatcherStats re-exports the micro-batcher counters.
+type BatcherStats = serve.BatchStats
+
+// ServiceStats snapshots a service's pool and batcher counters.
+type ServiceStats struct {
+	Pool     PoolStats      `json:"pool"`
+	Batchers []BatcherStats `json:"batchers,omitempty"`
+}
+
+// Service executes one Program for concurrent callers: a pool of VM
+// sessions shares the frozen executable, and entries the compiler proved
+// row-separable additionally get a micro-batcher that coalesces concurrent
+// single-tensor requests into one kernel dispatch. Callers do not choose a
+// transport — Invoke routes each request to the batcher or the pool by the
+// entry's signature. All methods are safe for concurrent use.
+type Service struct {
+	p        *Program
+	pool     *serve.Pool
+	batchers map[string]*serve.Batcher
+	closed   atomic.Bool
+}
+
+// NewService builds a concurrent serving runtime over the program.
+func (p *Program) NewService(cfg ServiceConfig) (*Service, error) {
+	if p.unlinked {
+		return nil, fmt.Errorf("nimble: program was loaded without a kernel library; pass the compiled Program to Load")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool, err := serve.NewPool(p.exe, workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{p: p, pool: pool, batchers: map[string]*serve.Batcher{}}
+	if !cfg.DisableBatching {
+		maxBatch := cfg.MaxBatch
+		if maxBatch <= 0 {
+			maxBatch = 16
+		}
+		for _, name := range p.names {
+			if p.entries[name].RowSeparable {
+				s.batchers[name] = serve.NewBatcher(pool, serve.BatchConfig{
+					Entry: name, MaxBatch: maxBatch, MaxDelay: cfg.MaxDelay,
+				})
+			}
+		}
+	}
+	return s, nil
+}
+
+// Program returns the served program (for introspection endpoints).
+func (s *Service) Program() *Program { return s.p }
+
+// Workers returns the session-pool size.
+func (s *Service) Workers() int { return s.pool.Size() }
+
+// Invoke runs the named entry function, routing through the micro-batcher
+// when the entry is row-separable and the call is the single-tensor form,
+// and through the session pool otherwise. Waits (pool checkout, batch
+// assembly) are abandoned when ctx is canceled: the error wraps
+// ErrCanceled and ctx.Err(), and a request canceled while queued in a
+// batch is withdrawn without disturbing its batch-mates.
+func (s *Service) Invoke(ctx context.Context, entry string, args ...Value) (Value, error) {
+	if s.closed.Load() {
+		return Value{}, fmt.Errorf("nimble: service: %w", ErrClosed)
+	}
+	if _, err := s.p.validate(entry, args); err != nil {
+		return Value{}, err
+	}
+	if b, ok := s.batchers[entry]; ok && len(args) == 1 {
+		if t, isTensor := args[0].Tensor(); isTensor && t != nil && t.Rank() >= 1 {
+			out, err := b.Invoke(ctx, t)
+			if err != nil {
+				return Value{}, err
+			}
+			return TensorValue(out), nil
+		}
+	}
+	objs := make([]vm.Object, len(args))
+	for i, a := range args {
+		o, err := toObject(a)
+		if err != nil {
+			return Value{}, fmt.Errorf("nimble: %s arg %d: %w", entry, i, err)
+		}
+		objs[i] = o
+	}
+	out, err := s.pool.Invoke(ctx, entry, objs...)
+	if err != nil {
+		return Value{}, canceled(err)
+	}
+	return fromObject(out)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	st := ServiceStats{Pool: s.pool.Stats()}
+	for _, name := range s.p.names {
+		if b, ok := s.batchers[name]; ok {
+			st.Batchers = append(st.Batchers, b.Stats())
+		}
+	}
+	return st
+}
+
+// Close drains the batchers (accepted requests are still answered) and
+// closes the pool; later Invokes return ErrClosed. Idempotent.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, b := range s.batchers {
+		b.Close()
+	}
+	s.pool.Close()
+}

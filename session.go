@@ -1,0 +1,76 @@
+package nimble
+
+import (
+	"context"
+	"fmt"
+
+	"nimble/internal/vm"
+)
+
+// Session is a single-threaded execution context over a Program: it owns
+// the mutable per-execution state (runtime storage pool, recycled frames,
+// scratch) that makes repeated invocations allocation-free, and is NOT
+// safe for concurrent use — one goroutine at a time. For concurrent
+// traffic use Program.NewService.
+type Session struct {
+	p      *Program
+	m      *vm.VM
+	prof   *vm.Profiler
+	closed bool
+}
+
+// NewSession creates an execution session over the program. Sessions are
+// cheap: any number may exist over one Program, each on its own goroutine.
+func (p *Program) NewSession() *Session {
+	return &Session{p: p, m: vm.New(p.exe)}
+}
+
+// Invoke runs the named entry function. The context is honored at VM call
+// boundaries, so canceling mid-run stops a long dynamic execution; the
+// returned error then wraps ErrCanceled and ctx.Err(). Unknown entries and
+// arity mismatches fail fast with ErrUnknownEntry / ErrBadArity.
+func (s *Session) Invoke(ctx context.Context, entry string, args ...Value) (Value, error) {
+	if s.closed {
+		return Value{}, fmt.Errorf("nimble: session: %w", ErrClosed)
+	}
+	if _, err := s.p.validate(entry, args); err != nil {
+		return Value{}, err
+	}
+	objs := make([]vm.Object, len(args))
+	for i, a := range args {
+		o, err := toObject(a)
+		if err != nil {
+			return Value{}, fmt.Errorf("nimble: %s arg %d: %w", entry, i, err)
+		}
+		objs[i] = o
+	}
+	out, err := s.m.InvokeContext(ctx, entry, objs...)
+	if err != nil {
+		return Value{}, canceled(err)
+	}
+	return fromObject(out)
+}
+
+// Close marks the session unusable; later Invokes return ErrClosed.
+// Idempotent. (Sessions hold no OS resources — Close exists so lifecycle
+// bugs surface as typed errors instead of silent reuse.)
+func (s *Session) Close() error {
+	s.closed = true
+	return nil
+}
+
+// EnableProfiling attaches an instruction/kernel profiler to the session.
+// Must be called before the first Invoke being measured.
+func (s *Session) EnableProfiling() {
+	s.prof = vm.NewProfiler()
+	s.m.SetProfiler(s.prof)
+}
+
+// Profile renders the profiler summary (instruction counts, per-kernel
+// time); empty until EnableProfiling is called.
+func (s *Session) Profile() string {
+	if s.prof == nil {
+		return ""
+	}
+	return s.prof.Summary()
+}

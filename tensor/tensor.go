@@ -1,0 +1,67 @@
+// Package tensor is the public tensor vocabulary of Nimble: dense
+// n-dimensional arrays with a small dtype set, used both to build IR
+// constants (weights) and to exchange data with compiled programs through
+// nimble.Value. Every type is an alias of the runtime's internal tensor,
+// so values constructed here flow through the whole stack without copies.
+package tensor
+
+import (
+	"math/rand"
+
+	itensor "nimble/internal/tensor"
+)
+
+type (
+	// Tensor is a dense n-dimensional array.
+	Tensor = itensor.Tensor
+	// Shape is a concrete extent list.
+	Shape = itensor.Shape
+	// DType enumerates element types.
+	DType = itensor.DType
+)
+
+// Element types.
+const (
+	Float32 = itensor.Float32
+	Float64 = itensor.Float64
+	Int32   = itensor.Int32
+	Int64   = itensor.Int64
+	Bool    = itensor.Bool
+)
+
+// New allocates a zero-filled tensor.
+func New(dt DType, shape ...int) *Tensor { return itensor.New(dt, shape...) }
+
+// FromF32 wraps a float32 slice (no copy) with the given shape.
+func FromF32(data []float32, shape ...int) *Tensor { return itensor.FromF32(data, shape...) }
+
+// FromF64 wraps a float64 slice with the given shape.
+func FromF64(data []float64, shape ...int) *Tensor { return itensor.FromF64(data, shape...) }
+
+// FromI32 wraps an int32 slice with the given shape.
+func FromI32(data []int32, shape ...int) *Tensor { return itensor.FromI32(data, shape...) }
+
+// FromI64 wraps an int64 slice with the given shape.
+func FromI64(data []int64, shape ...int) *Tensor { return itensor.FromI64(data, shape...) }
+
+// FromBool wraps a bool slice with the given shape.
+func FromBool(data []bool, shape ...int) *Tensor { return itensor.FromBool(data, shape...) }
+
+// Scalar builds a rank-0 float32 tensor; ScalarI64 and ScalarBool the
+// integer and boolean forms.
+func Scalar(v float32) *Tensor  { return itensor.Scalar(v) }
+func ScalarI64(v int64) *Tensor { return itensor.ScalarI64(v) }
+func ScalarBool(v bool) *Tensor { return itensor.ScalarBool(v) }
+
+// Random draws a float32 tensor with entries in [-scale, scale).
+func Random(rng *rand.Rand, scale float64, shape ...int) *Tensor {
+	return itensor.Random(rng, scale, shape...)
+}
+
+// RandomInts draws an int64 tensor with entries in [0, high).
+func RandomInts(rng *rand.Rand, high int64, shape ...int) *Tensor {
+	return itensor.RandomInts(rng, high, shape...)
+}
+
+// ParseDType parses a dtype name ("float32", "int64", ...).
+func ParseDType(s string) (DType, error) { return itensor.ParseDType(s) }

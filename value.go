@@ -1,0 +1,144 @@
+package nimble
+
+import (
+	"fmt"
+	"strings"
+
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// ValueKind discriminates the payload of a Value.
+type ValueKind uint8
+
+const (
+	// KindInvalid is the zero Value (no payload).
+	KindInvalid ValueKind = iota
+	// KindTensor wraps a *tensor.Tensor.
+	KindTensor
+	// KindADT is an algebraic-data-type value: a constructor tag plus
+	// fields (an LSTM's cons-list, a Tree-LSTM's tree).
+	KindADT
+	// KindTuple is a fixed-arity tuple of values.
+	KindTuple
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindTensor:
+		return "tensor"
+	case KindADT:
+		return "adt"
+	case KindTuple:
+		return "tuple"
+	}
+	return "invalid"
+}
+
+// Value is the single argument/result currency of the public API: every
+// Invoke — session or service, any model — takes and returns Values.
+// Tensors carry the bulk data; ADT and tuple values express the paper's
+// dynamic data structures (lists, trees) without touching VM internals.
+// The zero Value is invalid and rejected by Invoke.
+type Value struct {
+	kind   ValueKind
+	t      *tensor.Tensor
+	tag    int
+	fields []Value
+}
+
+// TensorValue wraps a tensor.
+func TensorValue(t *tensor.Tensor) Value {
+	return Value{kind: KindTensor, t: t}
+}
+
+// ADTValue builds an algebraic-data-type value from a constructor tag and
+// its fields. Tags come from EntrySignature's ADT description (or the
+// model's constructor metadata).
+func ADTValue(tag int, fields ...Value) Value {
+	return Value{kind: KindADT, tag: tag, fields: fields}
+}
+
+// TupleValue builds a tuple value.
+func TupleValue(fields ...Value) Value {
+	return Value{kind: KindTuple, tag: vm.TupleTag, fields: fields}
+}
+
+// Kind reports the value's payload kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// Tensor returns the wrapped tensor, or (nil, false) for non-tensor values.
+func (v Value) Tensor() (*tensor.Tensor, bool) {
+	if v.kind != KindTensor {
+		return nil, false
+	}
+	return v.t, true
+}
+
+// Tag returns the ADT constructor tag (meaningful only for KindADT).
+func (v Value) Tag() int { return v.tag }
+
+// Fields returns the ADT or tuple fields (nil for other kinds). The slice
+// must not be mutated.
+func (v Value) Fields() []Value { return v.fields }
+
+func (v Value) String() string {
+	switch v.kind {
+	case KindTensor:
+		return v.t.String()
+	case KindADT, KindTuple:
+		parts := make([]string, len(v.fields))
+		for i, f := range v.fields {
+			parts[i] = f.String()
+		}
+		if v.kind == KindTuple {
+			return "(" + strings.Join(parts, ", ") + ")"
+		}
+		return fmt.Sprintf("ctor#%d(%s)", v.tag, strings.Join(parts, ", "))
+	}
+	return "<invalid>"
+}
+
+// toObject lowers a public Value into the VM's object representation.
+func toObject(v Value) (vm.Object, error) {
+	switch v.kind {
+	case KindTensor:
+		if v.t == nil {
+			return nil, fmt.Errorf("nimble: nil tensor value")
+		}
+		return vm.NewTensorObj(v.t), nil
+	case KindADT, KindTuple:
+		fields := make([]vm.Object, len(v.fields))
+		for i, f := range v.fields {
+			o, err := toObject(f)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = o
+		}
+		return &vm.ADT{Tag: v.tag, Fields: fields}, nil
+	}
+	return nil, fmt.Errorf("nimble: invalid (zero) Value")
+}
+
+// fromObject lifts a VM result back into a public Value.
+func fromObject(o vm.Object) (Value, error) {
+	switch n := o.(type) {
+	case *vm.TensorObj:
+		return TensorValue(n.T), nil
+	case *vm.ADT:
+		fields := make([]Value, len(n.Fields))
+		for i, f := range n.Fields {
+			v, err := fromObject(f)
+			if err != nil {
+				return Value{}, err
+			}
+			fields[i] = v
+		}
+		if n.Tag == vm.TupleTag {
+			return TupleValue(fields...), nil
+		}
+		return ADTValue(n.Tag, fields...), nil
+	}
+	return Value{}, fmt.Errorf("nimble: entry returned %T, which has no public representation", o)
+}
