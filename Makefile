@@ -1,13 +1,14 @@
 # Build / verify entry points for the Nimble reproduction.
 #
 #   make            - build + vet + test (the tier-1 gate)
+#   make chaos      - long fault-injection run (panics/OOM/stalls) under -race
 #   make bench      - quick one-shot pass over every paper benchmark
 #   make bench-full - the full harness via cmd/nimble-bench
 #   make ci         - what the GitHub Actions workflow runs
 
 GO ?= go
 
-.PHONY: all build vet test race api-check fuzz-smoke bench bench-full serve-bench ci
+.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke bench bench-full serve-bench ci
 
 all: build vet test
 
@@ -24,10 +25,31 @@ api-check:
 	if [ -n "$$bad" ]; then echo "internal imports outside internal/:"; echo "$$bad"; exit 1; fi
 	$(GO) test . -run 'APISurfaceLock|NoInternalImports'
 
+# staticcheck, when the binary is on PATH (CI installs it; the target is a
+# no-op elsewhere so `make ci` works on a bare toolchain).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+
+# Fault-injection chaos harness. The smoke variant is the same harness
+# `go test ./...` runs (3 seeds, short); `make chaos` widens the seed list
+# and iteration counts. Both run under -race: the harness's invariants
+# (pool conservation, typed errors only, no cross-request contamination)
+# are only meaningful if the run is also data-race-free.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos|TestShutdown' -count=1 .
+chaos:
+	NIMBLE_CHAOS_LONG=1 $(GO) test -race -run 'TestChaos|TestShutdown' -count=1 -timeout 20m -v .
+
 # 30-second differential fuzz: compiled VM vs eager reference on random
 # IR programs. Counterexamples land in internal/conformance/testdata.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzVMConformance -fuzztime 30s ./internal/conformance
+
+# 30-second fuzz of nimble-serve's JSON decode + invoke path: malformed
+# bodies must answer 4xx JSON, never a 5xx or a crash.
+invoke-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzInvokeHandler -fuzztime 30s ./cmd/nimble-serve
 
 build:
 	$(GO) build ./...
@@ -47,8 +69,9 @@ bench:
 bench-full:
 	$(GO) run ./cmd/nimble-bench
 
-# Closed-loop serving sweep: 1-64 clients over an 8-session pool.
+# Closed-loop serving sweep: 1-64 clients over an 8-session pool, with a
+# machine-readable artifact (CI uploads it).
 serve-bench:
-	$(GO) run ./cmd/nimble-bench -serve -serve-workers 8
+	$(GO) run ./cmd/nimble-bench -serve -serve-workers 8 -json BENCH_serve.json
 
-ci: all race api-check bench
+ci: all staticcheck race api-check chaos-smoke bench

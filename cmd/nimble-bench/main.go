@@ -9,9 +9,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"nimble/bench"
@@ -27,6 +29,7 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 8, "session pool size for -serve")
 	serveDur := flag.Duration("serve-duration", time.Second, "measured window per -serve cell")
 	serveBatch := flag.Bool("serve-batch", true, "enable micro-batching for the MLP rows in -serve")
+	jsonPath := flag.String("json", "", "with -serve: also write the sweep as machine-readable JSON to this path")
 	flag.Parse()
 
 	if *serveMode {
@@ -41,6 +44,16 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 		fmt.Println(res.Format())
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				log.Fatalf("serve: marshal: %v", err)
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				log.Fatalf("serve: %v", err)
+			}
+			log.Printf("serve: wrote %s", *jsonPath)
+		}
 		return
 	}
 

@@ -19,12 +19,23 @@
 //	              parameter is a cons-list ADT (e.g. the LSTM).
 //	GET  /models  -> model name + every entry signature (types, Any dims,
 //	              ADT constructors, row-separability)
-//	GET  /healthz -> {"ok":true,...}
-//	GET  /stats   -> pool + batcher counters
+//	GET  /healthz -> {"ok":true,...}; 503 + "ok":false while any entry's
+//	              circuit breaker is open (degraded)
+//	GET  /stats   -> pool + batcher + admission-gate counters
 //
-// SIGINT/SIGTERM shut the server down gracefully: listeners stop, in-flight
-// requests get -shutdown-timeout to complete, the batcher drains, and the
-// pool closes.
+// Errors map onto status codes by family (docs/operations.md):
+//
+//	400 malformed body / ErrBadInput / ErrBadArity
+//	404 ErrUnknownEntry        413 body over -max-body
+//	429 ErrOverloaded (queue full, deadline unmeetable, breaker open) with
+//	    a Retry-After header from the admission controller's estimate
+//	500 ErrInternal (isolated VM/kernel panic; session quarantined)
+//	503 ErrClosed (shutting down)   504 ErrCanceled (deadline/cancel)
+//
+// SIGINT/SIGTERM shut the server down gracefully: listeners stop, then the
+// Service drains — in-flight AND already-admitted queued requests get
+// -shutdown-timeout to complete; stragglers are rejected with 503, never
+// left hanging.
 package main
 
 import (
@@ -34,9 +45,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -69,11 +82,19 @@ type adtJSON struct {
 	Fields []valueJSON `json:"fields,omitempty"`
 }
 
+// maxTensorElems bounds a decoded tensor (64M elements ≈ 256MB float32):
+// a shape like [1<<30, 1<<30, 1<<30] must be rejected here, not overflow
+// the element-count product into something len(Data) happens to equal.
+const maxTensorElems = 1 << 26
+
 func toTensor(tj tensorJSON) (*tensor.Tensor, error) {
 	n := 1
 	for _, d := range tj.Shape {
 		if d < 0 {
 			return nil, fmt.Errorf("negative dim %d", d)
+		}
+		if d > 0 && n > maxTensorElems/d {
+			return nil, fmt.Errorf("shape %v exceeds %d elements", tj.Shape, maxTensorElems)
 		}
 		n *= d
 	}
@@ -275,7 +296,7 @@ type invokeResponse struct {
 type server struct {
 	model   string
 	svc     *nimble.Service
-	timeout time.Duration
+	maxBody int64
 	start   time.Time
 }
 
@@ -288,7 +309,11 @@ func main() {
 	maxBatch := flag.Int("max-batch", 16, "micro-batch size cap")
 	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "micro-batch collection window")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
-	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain window for in-flight and queued requests on SIGINT/SIGTERM")
+	maxQueue := flag.Int("max-queue", 0, "per-entry admission queue bound (0 = 4×workers, negative = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive internal faults opening an entry's circuit breaker (0 = default 8, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing (0 = default 1s)")
+	maxBody := flag.Int64("max-body", 32<<20, "request body size cap in bytes")
 	flag.Parse()
 
 	m, err := cli.BuildOrLoad(*model, *exe)
@@ -296,15 +321,19 @@ func main() {
 		log.Fatal(err)
 	}
 	svc, err := m.Program.NewService(nimble.ServiceConfig{
-		Workers:         *workers,
-		DisableBatching: !*batch,
-		MaxBatch:        *maxBatch,
-		MaxDelay:        *maxDelay,
+		Workers:          *workers,
+		DisableBatching:  !*batch,
+		MaxBatch:         *maxBatch,
+		MaxDelay:         *maxDelay,
+		MaxQueue:         *maxQueue,
+		RequestTimeout:   *reqTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{model: *model, svc: svc, timeout: *reqTimeout, start: time.Now()}
+	s := &server{model: *model, svc: svc, maxBody: *maxBody, start: time.Now()}
 	log.Printf("serving %s", m.Describe)
 	for _, sig := range m.Program.Entrypoints() {
 		mode := "pool"
@@ -338,24 +367,37 @@ func main() {
 	log.Printf("nimble-serve: signal received, draining (timeout %v)", *shutdownTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
+	// One drain window covers both layers: the HTTP server stops accepting
+	// and waits for handlers, then the Service drains its own admitted
+	// backlog (batcher queues + pool waiters), rejecting stragglers with
+	// ErrClosed when the window expires instead of hanging.
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("nimble-serve: shutdown: %v", err)
+		log.Printf("nimble-serve: http shutdown: %v", err)
 	}
-	svc.Close()
+	if err := svc.Shutdown(shCtx); err != nil {
+		log.Printf("nimble-serve: service drain: %v", err)
+	}
 	st := svc.Stats().Pool
-	log.Printf("nimble-serve: drained; served %d invocations (%d errors)", st.Invocations, st.Errors)
+	log.Printf("nimble-serve: drained; served %d invocations (%d errors, %d quarantined)", st.Invocations, st.Errors, st.Quarantined)
 }
 
 func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	// Kernels surface shape violations as panics; a malformed request must
-	// come back as a 500, not a dropped connection.
+	// Execution panics are recovered and typed inside the Service
+	// (ErrInternal + session quarantine); this recover is only the decoder
+	// backstop so a malformed request can never drop the connection.
 	defer func() {
 		if rec := recover(); rec != nil {
-			httpError(w, http.StatusInternalServerError, fmt.Errorf("execution panic: %v", rec))
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("handler panic: %v", rec))
 		}
 	}()
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req invokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -396,29 +438,55 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ctx := r.Context()
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
-	}
+	// The Service applies -request-timeout itself (RequestTimeout) when the
+	// caller's context carries no deadline; r.Context() still propagates
+	// client disconnects.
 	start := time.Now()
-	out, err := s.svc.Invoke(ctx, req.Entry, args...)
+	out, err := s.svc.Invoke(r.Context(), req.Entry, args...)
 	if err != nil {
-		switch {
-		case errors.Is(err, nimble.ErrCanceled):
-			httpError(w, http.StatusGatewayTimeout, err)
-		case errors.Is(err, nimble.ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err)
-		default:
-			httpError(w, http.StatusInternalServerError, err)
+		code := invokeStatus(err)
+		if code == http.StatusTooManyRequests {
+			// The admission controller's estimate becomes Retry-After,
+			// rounded up so a sub-second hint is never 0.
+			if d, ok := nimble.RetryAfter(err); ok {
+				secs := int(math.Ceil(d.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 		}
+		httpError(w, code, err)
 		return
 	}
 	writeJSON(w, invokeResponse{
 		Output:    fromValue(out),
 		LatencyUS: float64(time.Since(start).Microseconds()),
 	})
+}
+
+// invokeStatus maps the public error families onto HTTP status codes —
+// the contract documented in docs/operations.md. Order matters only for
+// readability; the families are disjoint except ErrBadArity ⊂ ErrBadInput.
+func invokeStatus(err error) int {
+	switch {
+	case errors.Is(err, nimble.ErrBadInput), errors.Is(err, nimble.ErrBadArity):
+		// Validation errors match both sentinels; either way it is the
+		// client's request, not the server's state.
+		return http.StatusBadRequest
+	case errors.Is(err, nimble.ErrUnknownEntry):
+		return http.StatusNotFound
+	case errors.Is(err, nimble.ErrOverloaded):
+		// Queue full, deadline unmeetable, or circuit breaker open.
+		return http.StatusTooManyRequests
+	case errors.Is(err, nimble.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, nimble.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		// ErrInternal (quarantined panic) and anything unclassified.
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *server) handleModels(w http.ResponseWriter, _ *http.Request) {
@@ -430,11 +498,20 @@ func (s *server) handleModels(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Degraded (some entry's circuit breaker open) answers 503 so load
+	// balancers stop routing here before users notice; the body still says
+	// which entries are sick.
+	h := s.svc.Health()
+	if h.Degraded {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	writeJSON(w, map[string]any{
-		"ok":         true,
+		"ok":         !h.Degraded,
 		"model":      s.model,
 		"workers":    s.svc.Workers(),
 		"uptime_sec": time.Since(s.start).Seconds(),
+		"entries":    h.Entries,
 	})
 }
 

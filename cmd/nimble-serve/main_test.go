@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nimble"
+	"nimble/models"
+)
+
+var (
+	testSrvOnce sync.Once
+	testSrv     *server
+	testSrvErr  error
+)
+
+// testServer compiles a small MLP once and serves it; handler tests and
+// the fuzz target share it.
+func testServer(t testing.TB) *server {
+	t.Helper()
+	testSrvOnce.Do(func() {
+		m := models.NewMLP(models.MLPConfig{In: 8, Hidden: 16, Out: 4, Layers: 1, Seed: 3})
+		p, err := nimble.Compile(m.Module)
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		svc, err := p.NewService(nimble.ServiceConfig{Workers: 2})
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		testSrv = &server{model: "mlp", svc: svc, maxBody: 1 << 20, start: time.Now()}
+	})
+	if testSrvErr != nil {
+		t.Fatal(testSrvErr)
+	}
+	return testSrv
+}
+
+func postInvoke(t testing.TB, s *server, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/invoke", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handleInvoke(w, req)
+	return w
+}
+
+func validBody(rows int) []byte {
+	data := make([]float64, rows*8)
+	for i := range data {
+		data[i] = float64(i%7) * 0.25
+	}
+	b, _ := json.Marshal(map[string]any{
+		"entry": "main",
+		"args":  []map[string]any{{"dtype": "float32", "shape": []int{rows, 8}, "data": data}},
+	})
+	return b
+}
+
+// TestInvokeHandlerStatusMapping: each rejection class lands on its
+// documented status code, and a valid request succeeds.
+func TestInvokeHandlerStatusMapping(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"valid", string(validBody(2)), http.StatusOK},
+		{"garbage body", `{"entry": "main", "args": [`, http.StatusBadRequest},
+		{"not json", `hello`, http.StatusBadRequest},
+		{"unknown entry", `{"entry":"nope","args":[]}`, http.StatusNotFound},
+		{"wrong arity", `{"entry":"main","args":[]}`, http.StatusBadRequest},
+		{"wrong dtype", `{"args":[{"dtype":"float64","shape":[1,8],"data":[0,0,0,0,0,0,0,0]}]}`, http.StatusBadRequest},
+		{"shape/data mismatch", `{"args":[{"dtype":"float32","shape":[1,8],"data":[1,2]}]}`, http.StatusBadRequest},
+		{"negative dim", `{"args":[{"dtype":"float32","shape":[-1,8],"data":[]}]}`, http.StatusBadRequest},
+		{"overflowing shape", `{"args":[{"dtype":"float32","shape":[1073741824,1073741824,1073741824],"data":[]}]}`, http.StatusBadRequest},
+		{"wrong static dim", `{"args":[{"dtype":"float32","shape":[1,9],"data":[0,0,0,0,0,0,0,0,0]}]}`, http.StatusBadRequest},
+		{"seq on non-list entry", `{"entry":"main","seq":[{"dtype":"float32","shape":[1,8],"data":[0,0,0,0,0,0,0,0]}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postInvoke(t, s, []byte(tc.body))
+			if w.Code != tc.want {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, tc.want, w.Body.String())
+			}
+			var resp map[string]any
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("response is not JSON: %v", err)
+			}
+			if tc.want != http.StatusOK {
+				if _, ok := resp["error"]; !ok {
+					t.Errorf("error response carries no error field: %s", w.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// TestInvokeBodyCap: a body over -max-body answers 413, not a decode 400
+// or a dropped connection.
+func TestInvokeBodyCap(t *testing.T) {
+	s := testServer(t)
+	huge := append([]byte(`{"args":[{"data":[`), bytes.Repeat([]byte("1,"), 1<<20)...)
+	huge = append(huge, []byte(`1]}]}`)...)
+	w := postInvoke(t, s, huge)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", w.Code)
+	}
+}
+
+// TestInvokeStatusFamilies: the documented error→status contract, pinned
+// against wrapped members of each public family.
+func TestInvokeStatusFamilies(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("x: %w", nimble.ErrBadInput), http.StatusBadRequest},
+		{fmt.Errorf("x: %w", nimble.ErrBadArity), http.StatusBadRequest},
+		{fmt.Errorf("x: %w", nimble.ErrUnknownEntry), http.StatusNotFound},
+		{fmt.Errorf("x: %w", nimble.ErrOverloaded), http.StatusTooManyRequests},
+		{fmt.Errorf("x: %w", nimble.ErrCanceled), http.StatusGatewayTimeout},
+		{fmt.Errorf("x: %w", context.DeadlineExceeded), http.StatusInternalServerError},
+		{fmt.Errorf("x: %w", nimble.ErrClosed), http.StatusServiceUnavailable},
+		{fmt.Errorf("x: %w", nimble.ErrInternal), http.StatusInternalServerError},
+		{errors.New("mystery"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := invokeStatus(tc.err); got != tc.want {
+			t.Errorf("invokeStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestHealthzHealthy: a fresh service reports ok with a 200.
+func TestHealthzHealthy(t *testing.T) {
+	s := testServer(t)
+	w := httptest.NewRecorder()
+	s.handleHealthz(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", w.Code)
+	}
+	var resp struct {
+		OK      bool `json:"ok"`
+		Entries []struct {
+			Entry   string `json:"entry"`
+			Healthy bool   `json:"healthy"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Entries) == 0 || !resp.Entries[0].Healthy {
+		t.Errorf("healthz body = %s", w.Body.String())
+	}
+}
+
+// FuzzInvokeHandler: no request body — malformed JSON, hostile shapes,
+// deep nesting, binary junk — may crash the handler or surface as a 5xx.
+// With no fault injection configured every failure is the client's fault:
+// the contract is 2xx or 4xx, always JSON, never a panic.
+func FuzzInvokeHandler(f *testing.F) {
+	f.Add(validBody(1))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"entry":"main"}`))
+	f.Add([]byte(`{"entry":"main","args":null}`))
+	f.Add([]byte(`{"entry":"main","args":[{}]}`))
+	f.Add([]byte(`{"args":[{"dtype":"float32","shape":[2,8]}]}`))
+	f.Add([]byte(`{"args":[{"shape":[0,8],"data":[]}]}`))
+	f.Add([]byte(`{"args":[{"adt":{"tag":0}}]}`))
+	f.Add([]byte(`{"args":[{"tuple":[]}]}`))
+	f.Add([]byte(`{"seq":[{"dtype":"float32","shape":[8],"data":[1,2,3,4,5,6,7,8]}]}`))
+	f.Add([]byte(`{"args":[{"dtype":"float32","shape":[9223372036854775807,2],"data":[]}]}`))
+	f.Add([]byte(strings.Repeat(`{"args":[`, 100)))
+	f.Add([]byte("\x00\xff\xfe junk"))
+
+	s := testServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		w := postInvoke(t, s, body)
+		if w.Code >= 500 {
+			t.Fatalf("5xx (%d) for client-supplied body %q: %s", w.Code, body, w.Body.String())
+		}
+		var resp map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("non-JSON response for body %q: %s", body, w.Body.String())
+		}
+	})
+}

@@ -3,6 +3,7 @@ package nimble
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"nimble/internal/serve"
 )
@@ -23,14 +24,61 @@ var (
 	ErrCanceled = serve.ErrCanceled
 	// ErrClosed reports an operation on a closed Session or Service.
 	ErrClosed = serve.ErrClosed
+	// ErrBadInput reports a request rejected at the Invoke boundary before
+	// reaching the VM: wrong value kind, or a tensor whose dtype, rank, or
+	// static dimensions contradict the entry's compiled signature. Arity
+	// mismatches (ErrBadArity) match this sentinel too, so servers can map
+	// the whole family to one 400. Rejected requests never consume a
+	// session.
+	ErrBadInput = serve.ErrBadInput
+	// ErrInternal reports an execution fault: a VM or kernel panic
+	// recovered at the session boundary instead of crashing the process.
+	// In a Service the faulting session is quarantined (replaced by a
+	// fresh VM), so no state the failed request touched can leak into a
+	// later one; a plain Session poisons itself and returns ErrClosed from
+	// then on.
+	ErrInternal = serve.ErrInternal
+	// ErrOverloaded reports a request shed by the Service's admission
+	// control: the entry's queue is full, the request's deadline cannot be
+	// met at the current backlog, or the entry's circuit breaker is open
+	// after consecutive internal faults. RetryAfter extracts the back-off
+	// hint these errors carry.
+	ErrOverloaded = serve.ErrOverloaded
 )
+
+// RetryAfter extracts the back-off hint from an ErrOverloaded-family
+// error: how long the admission controller estimates until capacity
+// exists (or the circuit breaker closes). Servers surface it as a
+// Retry-After header; ok is false for every other error.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var oe *serve.OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
 
 func unknownEntry(name string) error {
 	return fmt.Errorf("%w: %q", ErrUnknownEntry, name)
 }
 
+// badArity matches both ErrBadArity (the precise sentinel) and ErrBadInput
+// (the family servers map to 400).
 func badArity(sig *EntrySignature, got int) error {
-	return fmt.Errorf("%w: %s takes %d, got %d", ErrBadArity, sig.Name, len(sig.Params), got)
+	return fmt.Errorf("%w: %s takes %d, got %d", errBadArityInput{}, sig.Name, len(sig.Params), got)
+}
+
+// errBadArityInput bridges the two sentinels an arity error belongs to.
+type errBadArityInput struct{}
+
+func (errBadArityInput) Error() string { return ErrBadArity.Error() }
+func (errBadArityInput) Is(target error) bool {
+	return target == ErrBadArity || target == ErrBadInput
+}
+
+// badInput wraps a boundary-validation failure in the ErrBadInput family.
+func badInput(entry string, detail string) error {
+	return fmt.Errorf("%w: %s: %s", ErrBadInput, entry, detail)
 }
 
 // canceled wraps err in the ErrCanceled family when it is a context error

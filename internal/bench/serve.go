@@ -48,28 +48,30 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	return c
 }
 
-// ServeRow is one (model, clients) measurement.
+// ServeRow is one (model, clients) measurement. The JSON tags are the
+// machine-readable schema of BENCH_serve.json (the CI artifact).
 type ServeRow struct {
-	Model    string
-	Workers  int
-	Clients  int
-	Requests int64
+	Model    string `json:"model"`
+	Workers  int    `json:"workers"`
+	Clients  int    `json:"clients"`
+	Requests int64  `json:"requests"`
 	// Throughput is requests/second; TokensPerSec weights each request by
 	// its token count (sequence length, tree leaves, or batch rows).
-	Throughput   float64
-	TokensPerSec float64
-	P50, P99     time.Duration
+	Throughput   float64       `json:"req_per_sec"`
+	TokensPerSec float64       `json:"tokens_per_sec"`
+	P50          time.Duration `json:"p50_ns"`
+	P99          time.Duration `json:"p99_ns"`
 	// Speedup is this row's throughput over the same model's 1-client row.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// Coalesced counts requests served by merged micro-batches (MLP only).
-	Coalesced int64
+	Coalesced int64 `json:"coalesced,omitempty"`
 }
 
 // ServeResult is the full sweep.
 type ServeResult struct {
-	Config ServeConfig
-	Rows   []ServeRow
-	Notes  []string
+	Config ServeConfig `json:"config"`
+	Rows   []ServeRow  `json:"rows"`
+	Notes  []string    `json:"notes"`
 }
 
 // Format renders the sweep as a table.

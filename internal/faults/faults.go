@@ -1,0 +1,154 @@
+// Package faults is Nimble's fault-injection toolkit: deterministic,
+// seeded wrappers that make kernels panic, stall, or fail allocation on
+// demand, plus a request-level cancellation schedule. The chaos harness
+// (chaos_test.go in the root package, `make chaos`) wraps a compiled
+// executable's kernel table with an Injector and hammers a Service under
+// -race, asserting the fault-tolerance invariants: the process survives,
+// the session pool conserves its size, every request resolves to a typed
+// error or a correct result, and no output ever carries another request's
+// data.
+//
+// Determinism: every fault decision is a pure function of (seed, event
+// counter). Concurrency still interleaves *which request* observes the
+// N-th kernel call, but the fault schedule itself — how many panics, how
+// many stalls, at which event indices — is identical across runs of the
+// same seed, which is what makes a chaos failure reproducible enough to
+// debug.
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// Config sets per-event fault probabilities in parts per 1024 (an event is
+// one kernel dispatch for kernel faults, one request for cancellations).
+// Zero means the fault never fires.
+type Config struct {
+	// Seed drives the deterministic decision sequence.
+	Seed uint64
+	// PanicPer1024 makes the wrapped kernel panic before running.
+	PanicPer1024 int
+	// AllocFailPer1024 simulates an allocation failure inside the kernel —
+	// the panic an out-of-memory tensor allocation would raise.
+	AllocFailPer1024 int
+	// SlowPer1024 stalls the kernel for SlowDelay before running — the
+	// shape of a page-fault storm or a contended lock, for exercising
+	// deadline shedding and per-request timeouts.
+	SlowPer1024 int
+	// SlowDelay is the stall length (default 2ms).
+	SlowDelay time.Duration
+	// CancelPer1024 is consulted by CancelRequest for request-level
+	// cancellation schedules.
+	CancelPer1024 int
+}
+
+// Injector makes deterministic fault decisions and counts what it injected.
+type Injector struct {
+	cfg    Config
+	events atomic.Uint64
+
+	panics     atomic.Int64
+	allocFails atomic.Int64
+	slows      atomic.Int64
+	cancels    atomic.Int64
+}
+
+// NewInjector builds an injector over the config.
+func NewInjector(cfg Config) *Injector {
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = 2 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// splitmix64 is the standard 64-bit avalanche mix: a distinct,
+// well-distributed value per (seed, counter) pair.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws the next event's uniform value in [0, 1024).
+func (in *Injector) roll() uint64 {
+	n := in.events.Add(1)
+	return splitmix64(in.cfg.Seed^n) & 1023
+}
+
+// KernelPanic is the payload of an injected kernel panic.
+const KernelPanic = "faults: injected kernel panic"
+
+// AllocPanic is the payload of an injected allocation failure.
+const AllocPanic = "faults: injected allocation failure (simulated OOM)"
+
+// Wrap decorates one kernel with the injector's fault schedule. The
+// wrapped kernel is semantically identical when no fault fires.
+func (in *Injector) Wrap(name string, fn vm.PackedFunc) vm.PackedFunc {
+	return func(args []*tensor.Tensor, out *tensor.Tensor) (*tensor.Tensor, error) {
+		r := in.roll()
+		bound := uint64(0)
+		if p := uint64(in.cfg.PanicPer1024); r < bound+p {
+			in.panics.Add(1)
+			panic(fmt.Sprintf("%s: kernel %s", KernelPanic, name))
+		} else {
+			bound += p
+		}
+		if a := uint64(in.cfg.AllocFailPer1024); r < bound+a {
+			in.allocFails.Add(1)
+			panic(fmt.Sprintf("%s: kernel %s", AllocPanic, name))
+		} else {
+			bound += a
+		}
+		if s := uint64(in.cfg.SlowPer1024); r < bound+s {
+			in.slows.Add(1)
+			time.Sleep(in.cfg.SlowDelay)
+		}
+		return fn(args, out)
+	}
+}
+
+// WrapExecutable rewraps every kernel of an unfrozen executable in place.
+// Call it after compiling and before the executable is adopted by a
+// session, service, or pool (adoption freezes it).
+func (in *Injector) WrapExecutable(exe *vm.Executable) error {
+	return exe.WrapKernels(in.Wrap)
+}
+
+// CancelRequest decides, deterministically, whether the next request
+// should be canceled mid-flight, and after what fraction of delay d.
+func (in *Injector) CancelRequest(d time.Duration) (after time.Duration, cancel bool) {
+	r := in.roll()
+	if r >= uint64(in.cfg.CancelPer1024) {
+		return 0, false
+	}
+	in.cancels.Add(1)
+	// Derive the delay fraction from an independent mix of the same event.
+	frac := splitmix64(r^in.cfg.Seed^0xabcd) & 1023
+	return d * time.Duration(frac) / 1024, true
+}
+
+// InjectedStats reports what actually fired.
+type InjectedStats struct {
+	Events     uint64
+	Panics     int64
+	AllocFails int64
+	Slows      int64
+	Cancels    int64
+}
+
+// Stats snapshots the injector counters.
+func (in *Injector) Stats() InjectedStats {
+	return InjectedStats{
+		Events:     in.events.Load(),
+		Panics:     in.panics.Load(),
+		AllocFails: in.allocFails.Load(),
+		Slows:      in.slows.Load(),
+		Cancels:    in.cancels.Load(),
+	}
+}

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nimble/internal/tensor"
+)
+
+// identity is a trivial kernel for wrapper tests.
+func identity(args []*tensor.Tensor, out *tensor.Tensor) (*tensor.Tensor, error) {
+	return args[0], nil
+}
+
+// schedule replays n events through a fresh injector and records which
+// fault (if any) fired at each index.
+func schedule(cfg Config, n int) []string {
+	in := NewInjector(cfg)
+	wrapped := in.Wrap("k", identity)
+	x := tensor.New(tensor.Float32, 1)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s := rec.(string)
+					switch {
+					case strings.HasPrefix(s, KernelPanic):
+						out[i] = "panic"
+					case strings.HasPrefix(s, AllocPanic):
+						out[i] = "alloc"
+					default:
+						out[i] = "???"
+					}
+				}
+			}()
+			if _, err := wrapped([]*tensor.Tensor{x}, nil); err != nil {
+				out[i] = "err"
+			}
+		}()
+	}
+	return out
+}
+
+// TestDeterministicSchedule: same seed → identical fault schedule;
+// different seed → (almost surely) different.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, PanicPer1024: 100, AllocFailPer1024: 100}
+	a := schedule(cfg, 500)
+	b := schedule(cfg, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identically-seeded runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := schedule(Config{Seed: 8, PanicPer1024: 100, AllocFailPer1024: 100}, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestInjectionRates: observed fault frequencies approximate the
+// configured per-1024 rates, and the wrapper is transparent when no
+// fault fires.
+func TestInjectionRates(t *testing.T) {
+	const n = 20000
+	cfg := Config{Seed: 42, PanicPer1024: 64, AllocFailPer1024: 32}
+	events := schedule(cfg, n)
+	var panics, allocs int
+	for _, e := range events {
+		switch e {
+		case "panic":
+			panics++
+		case "alloc":
+			allocs++
+		case "???", "err":
+			t.Fatalf("unexpected event class %q", e)
+		}
+	}
+	// 64/1024 of 20000 ≈ 1250, 32/1024 ≈ 625; allow ±40%.
+	if panics < 750 || panics > 1750 {
+		t.Errorf("panics = %d, want ≈1250", panics)
+	}
+	if allocs < 375 || allocs > 875 {
+		t.Errorf("allocFails = %d, want ≈625", allocs)
+	}
+}
+
+// TestZeroConfigTransparent: an injector with no rates never fires and the
+// wrapped kernel behaves identically.
+func TestZeroConfigTransparent(t *testing.T) {
+	in := NewInjector(Config{Seed: 1})
+	wrapped := in.Wrap("k", identity)
+	x := tensor.New(tensor.Float32, 4)
+	for i := 0; i < 1000; i++ {
+		got, err := wrapped([]*tensor.Tensor{x}, nil)
+		if err != nil || got != x {
+			t.Fatalf("zero-config wrapper not transparent: got=%v err=%v", got, err)
+		}
+	}
+	st := in.Stats()
+	if st.Panics+st.AllocFails+st.Slows+st.Cancels != 0 {
+		t.Fatalf("zero-config injector fired: %+v", st)
+	}
+	if st.Events != 1000 {
+		t.Fatalf("Events = %d, want 1000", st.Events)
+	}
+}
+
+// TestSlowInjection: slow faults delay but do not corrupt.
+func TestSlowInjection(t *testing.T) {
+	in := NewInjector(Config{Seed: 3, SlowPer1024: 1024, SlowDelay: time.Millisecond})
+	wrapped := in.Wrap("k", identity)
+	x := tensor.New(tensor.Float32, 1)
+	start := time.Now()
+	got, err := wrapped([]*tensor.Tensor{x}, nil)
+	if err != nil || got != x {
+		t.Fatalf("slow wrapper broke the kernel: got=%v err=%v", got, err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("always-slow injector did not stall")
+	}
+	if in.Stats().Slows != 1 {
+		t.Errorf("Slows = %d, want 1", in.Stats().Slows)
+	}
+}
+
+// TestCancelRequestDeterministic: the cancellation schedule is a pure
+// function of the seed, with delays inside [0, d).
+func TestCancelRequestDeterministic(t *testing.T) {
+	d := 10 * time.Millisecond
+	run := func(seed uint64) ([]bool, []time.Duration) {
+		in := NewInjector(Config{Seed: seed, CancelPer1024: 512})
+		cancels := make([]bool, 200)
+		afters := make([]time.Duration, 200)
+		for i := range cancels {
+			afters[i], cancels[i] = in.CancelRequest(d)
+		}
+		return cancels, afters
+	}
+	c1, a1 := run(11)
+	c2, a2 := run(11)
+	var fired int
+	for i := range c1 {
+		if c1[i] != c2[i] || a1[i] != a2[i] {
+			t.Fatalf("cancel schedule diverged at %d", i)
+		}
+		if c1[i] {
+			fired++
+			if a1[i] < 0 || a1[i] >= d {
+				t.Fatalf("cancel delay %v outside [0, %v)", a1[i], d)
+			}
+		}
+	}
+	// 512/1024 of 200 ≈ 100; it should at least fire sometimes and not always.
+	if fired < 50 || fired > 150 {
+		t.Errorf("cancels fired %d/200, want ≈100", fired)
+	}
+}

@@ -9,10 +9,27 @@
 package runtime
 
 import (
+	"fmt"
 	stdruntime "runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ChunkPanic is a panic captured on a pool worker goroutine and re-raised
+// on the goroutine that called ParallelFor. Without this transfer a kernel
+// panic on a shared worker would crash the whole process with no recover in
+// sight; with it, the panic surfaces where the request-level isolation
+// (internal/serve's session recovery) can catch it. Value is the original
+// panic payload; Stack is the worker's stack at capture time.
+type ChunkPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (c *ChunkPanic) String() string {
+	return fmt.Sprintf("parallel-for chunk panicked: %v", c.Value)
+}
 
 // Pool is a fixed set of persistent worker goroutines serving parallel-for
 // shards. The zero value is not usable; construct with NewPool or use the
@@ -69,7 +86,23 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 		return
 	}
 	var cursor atomic.Int64
+	// A panicking body must not take down a shared worker goroutine (the
+	// process would die with it): the first panic is captured here, the
+	// cursor is exhausted so remaining shards stop early, and the panic is
+	// re-raised on the calling goroutine after every shard has stopped.
+	var panicked atomic.Pointer[ChunkPanic]
 	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if cp, ok := r.(*ChunkPanic); ok {
+					// Nested ParallelFor: pass the original capture through.
+					panicked.CompareAndSwap(nil, cp)
+				} else {
+					panicked.CompareAndSwap(nil, &ChunkPanic{Value: r, Stack: debug.Stack()})
+				}
+				cursor.Store(int64(chunks))
+			}
+		}()
 		for {
 			c := int(cursor.Add(1)) - 1
 			if c >= chunks {
@@ -100,6 +133,9 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 	}
 	run()
 	wg.Wait()
+	if cp := panicked.Load(); cp != nil {
+		panic(cp)
+	}
 }
 
 var (

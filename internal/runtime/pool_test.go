@@ -70,3 +70,49 @@ func TestDefaultPoolSingleton(t *testing.T) {
 		t.Error("default pool must have at least one worker")
 	}
 }
+
+// A panic inside a ParallelFor body must re-surface on the calling
+// goroutine as a *ChunkPanic — never kill a shared worker (which would
+// crash the process) — and must leave the pool serviceable.
+func TestParallelForPanicTransfersToCaller(t *testing.T) {
+	p := NewPool(4)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.ParallelFor(1000, 1, func(lo, hi int) {
+			if lo >= 500 {
+				panic("kernel died")
+			}
+		})
+	}()
+	cp, ok := recovered.(*ChunkPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *ChunkPanic", recovered, recovered)
+	}
+	if cp.Value != "kernel died" {
+		t.Errorf("ChunkPanic.Value = %v, want the original payload", cp.Value)
+	}
+	if len(cp.Stack) == 0 {
+		t.Error("ChunkPanic.Stack is empty; the worker stack was not captured")
+	}
+	// Workers survived: the pool still runs full sweeps.
+	var total atomic.Int64
+	for i := 0; i < 4; i++ {
+		p.ParallelFor(1000, 7, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	}
+	if got := total.Load(); got != 4*1000 {
+		t.Errorf("post-panic iterations = %d, want %d (a worker died?)", got, 4*1000)
+	}
+}
+
+// A panic on the single-shard fast path (no workers involved) propagates
+// directly — the capture machinery must not swallow it.
+func TestParallelForPanicSingleShard(t *testing.T) {
+	p := NewPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("single-shard panic did not propagate")
+		}
+	}()
+	p.ParallelFor(10, 100, func(lo, hi int) { panic("boom") })
+}

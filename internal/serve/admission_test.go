@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func mustAdmit(t *testing.T, g *Gate) func(time.Duration, error) {
+	t.Helper()
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	return rel
+}
+
+// TestGateQueueBound: once admitted − workers reaches MaxQueue, arrivals
+// shed with ErrOverloaded and a positive Retry-After.
+func TestGateQueueBound(t *testing.T) {
+	g := NewGate(GateConfig{Entry: "main", Workers: 2, MaxQueue: 3})
+	var rels []func(time.Duration, error)
+	for i := 0; i < 5; i++ { // 2 running + 3 queued
+		rels = append(rels, mustAdmit(t, g))
+	}
+	_, err := g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("6th admit error = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %T does not unwrap to *OverloadError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", oe.RetryAfter)
+	}
+	if oe.Entry != "main" {
+		t.Errorf("Entry = %q, want main", oe.Entry)
+	}
+	// Releasing one makes room again.
+	rels[0](time.Millisecond, nil)
+	if rel, err := g.Admit(context.Background()); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	} else {
+		rel(time.Millisecond, nil)
+	}
+	st := g.Stats()
+	if st.ShedQueue != 1 {
+		t.Errorf("ShedQueue = %d, want 1", st.ShedQueue)
+	}
+	for _, r := range rels[1:] {
+		r(time.Millisecond, nil)
+	}
+}
+
+// TestGateQueueUnbounded: negative MaxQueue disables the bound.
+func TestGateQueueUnbounded(t *testing.T) {
+	g := NewGate(GateConfig{Entry: "main", Workers: 1, MaxQueue: -1})
+	for i := 0; i < 100; i++ {
+		mustAdmit(t, g)
+	}
+	if _, err := g.Admit(context.Background()); err != nil {
+		t.Fatalf("unbounded gate shed: %v", err)
+	}
+}
+
+// TestGateDeadlineShed: a request whose deadline the backlog cannot meet
+// is shed on arrival instead of queuing to time out.
+func TestGateDeadlineShed(t *testing.T) {
+	g := NewGate(GateConfig{Entry: "main", Workers: 1, MaxQueue: 100})
+	// Seed the EWMA: 20ms service time.
+	rel := mustAdmit(t, g)
+	rel(20*time.Millisecond, nil)
+	// Fill one running slot + 3 queued → expected wait = 4 waves × 20ms = 80ms.
+	var rels []func(time.Duration, error)
+	for i := 0; i < 4; i++ {
+		rels = append(rels, mustAdmit(t, g))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := g.Admit(ctx)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("doomed request error = %v, want ErrOverloaded", err)
+	}
+	if st := g.Stats(); st.ShedDeadline != 1 {
+		t.Errorf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+
+	// A generous deadline still gets in.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if rel, err := g.Admit(ctx2); err != nil {
+		t.Fatalf("meetable deadline shed: %v", err)
+	} else {
+		rel(time.Millisecond, nil)
+	}
+	for _, r := range rels {
+		r(time.Millisecond, nil)
+	}
+}
+
+// TestGateCancellationNeutral: ErrCanceled outcomes neither feed the EWMA
+// nor count toward the breaker.
+func TestGateCancellationNeutral(t *testing.T) {
+	g := NewGate(GateConfig{Entry: "main", Workers: 1, BreakerThreshold: 2})
+	for i := 0; i < 10; i++ {
+		rel := mustAdmit(t, g)
+		rel(time.Hour, ErrCanceled) // absurd duration must be ignored
+	}
+	st := g.Stats()
+	if st.ServiceEWMAUS != 0 {
+		t.Errorf("EWMA fed by canceled requests: %v µs", st.ServiceEWMAUS)
+	}
+	if !g.Healthy() {
+		t.Error("cancellations tripped the breaker")
+	}
+}
+
+// TestGateBreaker: consecutive internal faults open the breaker; it sheds
+// during cooldown, half-opens after, re-opens instantly on a half-open
+// failure, and closes on a half-open success.
+func TestGateBreaker(t *testing.T) {
+	g := NewGate(GateConfig{
+		Entry: "main", Workers: 1,
+		BreakerThreshold: 3, BreakerCooldown: 40 * time.Millisecond,
+		MaxQueue: -1,
+	})
+	boom := &InternalError{Entry: "main", Panic: "boom"}
+
+	// Two faults then a success: streak resets, breaker stays closed.
+	for i := 0; i < 2; i++ {
+		mustAdmit(t, g)(time.Millisecond, boom)
+	}
+	mustAdmit(t, g)(time.Millisecond, nil)
+	if !g.Healthy() {
+		t.Fatal("breaker opened below threshold")
+	}
+
+	// Three consecutive faults: open.
+	for i := 0; i < 3; i++ {
+		mustAdmit(t, g)(time.Millisecond, boom)
+	}
+	if g.Healthy() {
+		t.Fatal("breaker not open after threshold consecutive faults")
+	}
+	_, err := g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("open-breaker admit error = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter <= 0 {
+		t.Errorf("open-breaker RetryAfter = %v, want > 0", oe.RetryAfter)
+	}
+	st := g.Stats()
+	if st.BreakerTrips != 1 || st.ShedBreaker != 1 || !st.BreakerOpen {
+		t.Errorf("stats after trip = %+v", st)
+	}
+
+	// Cooldown expires → half-open; one more fault re-opens immediately.
+	time.Sleep(50 * time.Millisecond)
+	mustAdmit(t, g)(time.Millisecond, boom)
+	if g.Healthy() {
+		t.Fatal("half-open fault did not re-open the breaker")
+	}
+
+	// Cooldown again → half-open; a success closes it for good.
+	time.Sleep(50 * time.Millisecond)
+	mustAdmit(t, g)(time.Millisecond, nil)
+	if !g.Healthy() {
+		t.Fatal("half-open success did not close the breaker")
+	}
+	// And a single subsequent fault does not trip it (streak restarted).
+	mustAdmit(t, g)(time.Millisecond, boom)
+	if !g.Healthy() {
+		t.Fatal("closed breaker tripped on a single fault")
+	}
+}
+
+// TestGateBreakerDisabled: negative threshold never opens.
+func TestGateBreakerDisabled(t *testing.T) {
+	g := NewGate(GateConfig{Entry: "main", Workers: 1, BreakerThreshold: -1, MaxQueue: -1})
+	boom := &InternalError{Entry: "main", Panic: "boom"}
+	for i := 0; i < 50; i++ {
+		mustAdmit(t, g)(time.Millisecond, boom)
+	}
+	if !g.Healthy() {
+		t.Fatal("disabled breaker opened")
+	}
+}
+
+// TestGateEWMA: the estimate tracks observed service times.
+func TestGateEWMA(t *testing.T) {
+	g := NewGate(GateConfig{Entry: "main", Workers: 1})
+	mustAdmit(t, g)(8*time.Millisecond, nil)
+	if got := g.Stats().ServiceEWMAUS; got != 8000 {
+		t.Fatalf("first sample EWMA = %vµs, want 8000", got)
+	}
+	// 1/8 smoothing toward 16ms: 8 + (16-8)/8 = 9ms.
+	mustAdmit(t, g)(16*time.Millisecond, nil)
+	if got := g.Stats().ServiceEWMAUS; got != 9000 {
+		t.Fatalf("smoothed EWMA = %vµs, want 9000", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,21 +38,42 @@ type Session struct {
 	// increments happen on the goroutine holding the session while Stats
 	// may read concurrently from another.
 	invocations atomic.Int64
+	// poisoned marks a session whose VM panicked mid-execution. Its storage
+	// pool, frames, and scratch may be inconsistent (a kernel died halfway
+	// through writing a planner buffer), so Release quarantines it: the
+	// session is discarded and a fresh VM minted in its place. Written and
+	// read on the goroutine that holds the session.
+	poisoned bool
 }
 
 // Invoke runs the named entry function on this session. The context is
 // checked at VM call boundaries, so a deep recursion (an LSTM stepping a
-// long sequence) notices cancellation mid-run.
-func (s *Session) Invoke(ctx context.Context, name string, args ...vm.Object) (vm.Object, error) {
+// long sequence) notices cancellation mid-run. A VM or kernel panic is
+// recovered here — the isolation boundary between one request and the
+// process — converted into an *InternalError, and the session is poisoned
+// so the pool replaces it instead of reusing its state.
+func (s *Session) Invoke(ctx context.Context, name string, args ...vm.Object) (out vm.Object, err error) {
 	s.invocations.Add(1)
-	out, err := s.machine.InvokeContext(ctx, name, args...)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.poisoned = true
+			out, err = nil, Internal(name, rec, debug.Stack())
+		}
+	}()
+	out, err = s.machine.InvokeContext(ctx, name, args...)
 	return out, WrapCtxErr(err)
 }
 
 // InvokeTensors is the tensors-in, tensor-out convenience form.
-func (s *Session) InvokeTensors(ctx context.Context, name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
+func (s *Session) InvokeTensors(ctx context.Context, name string, args ...*tensor.Tensor) (out *tensor.Tensor, err error) {
 	s.invocations.Add(1)
-	out, err := s.machine.InvokeTensorsContext(ctx, name, args...)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.poisoned = true
+			out, err = nil, Internal(name, rec, debug.Stack())
+		}
+	}()
+	out, err = s.machine.InvokeTensorsContext(ctx, name, args...)
 	return out, WrapCtxErr(err)
 }
 
@@ -93,6 +115,7 @@ type Pool struct {
 	peakInUse   int
 	waits       int64 // acquires that found the stack empty and blocked
 	waitTime    time.Duration
+	quarantined int64 // poisoned sessions replaced by fresh VMs
 }
 
 // NewPool freezes exe and builds nWorkers sessions over it. The executable
@@ -208,8 +231,28 @@ func (p *Pool) checkoutLocked() {
 
 // Release returns a session to the pool. If an Acquire is parked, the
 // session transfers directly (it stays in flight, just under a new owner);
-// otherwise it joins the LIFO free stack.
+// otherwise it joins the LIFO free stack. A poisoned session (its VM
+// panicked mid-execution) never re-enters circulation: it is quarantined —
+// dropped on the floor for the GC, with a fresh VM over the same frozen
+// executable minted in its place — so pool size is conserved and no state
+// touched by the faulting request can resurface in a later one.
 func (p *Pool) Release(s *Session) {
+	if s.poisoned {
+		m := vm.New(p.exe)
+		m.MarkPooled()
+		fresh := &Session{machine: m, id: s.id}
+		fresh.invocations.Store(s.invocations.Load())
+		p.mu.Lock()
+		p.quarantined++
+		for i, old := range p.all {
+			if old == s {
+				p.all[i] = fresh
+				break
+			}
+		}
+		p.mu.Unlock()
+		s = fresh
+	}
 	p.mu.Lock()
 	if w := p.popWaiterLocked(); w != nil {
 		p.mu.Unlock()
@@ -300,6 +343,9 @@ type Stats struct {
 	PeakInUse   int           `json:"peak_in_use"`
 	Waits       int64         `json:"waits"`
 	WaitTime    time.Duration `json:"wait_time_ns"`
+	// Quarantined counts poisoned sessions (VM/kernel panics) replaced by
+	// fresh VMs; the pool's size never changes when this rises.
+	Quarantined int64 `json:"quarantined"`
 	// PerSession lists invocation counts by session id; a steep skew
 	// toward low ids is the LIFO policy working as intended.
 	PerSession []int64 `json:"per_session"`
@@ -317,6 +363,7 @@ func (p *Pool) Stats() Stats {
 		PeakInUse:   p.peakInUse,
 		Waits:       p.waits,
 		WaitTime:    p.waitTime,
+		Quarantined: p.quarantined,
 	}
 	for _, s := range p.all {
 		st.PerSession = append(st.PerSession, s.invocations.Load())

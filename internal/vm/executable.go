@@ -105,6 +105,22 @@ func (e *Executable) AddKernel(name string, fn PackedFunc) int {
 	return len(e.kernels) - 1
 }
 
+// WrapKernels replaces every bound kernel with wrap(name, kernel) — the
+// hook fault injection (internal/faults) and instrumentation use to
+// decorate the kernel table. Like the other construction-phase mutators it
+// must run before the executable is frozen; unlinked slots are left alone.
+func (e *Executable) WrapKernels(wrap func(name string, fn PackedFunc) PackedFunc) error {
+	if e.frozen {
+		return fmt.Errorf("vm: WrapKernels on frozen executable (wrap before pooling)")
+	}
+	for i, fn := range e.kernels {
+		if fn != nil {
+			e.kernels[i] = wrap(e.KernelNames[i], fn)
+		}
+	}
+	return nil
+}
+
 // Kernel returns the bound kernel at idx.
 func (e *Executable) Kernel(idx int) (PackedFunc, error) {
 	if idx < 0 || idx >= len(e.kernels) {

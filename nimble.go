@@ -139,11 +139,15 @@ func Compile(mod *ir.Module, opts ...Option) (*Program, error) {
 		names = append(names, name)
 	}
 
+	// The executable is NOT frozen here but at first adoption (NewSession,
+	// NewService, Save): the window between compile and adoption is where
+	// construction-phase decoration — fault-injection wrappers
+	// (internal/faults), instrumentation — may rewrap the kernel table.
+	// Once any execution context exists the artifact is sealed for good.
 	res, err := compiler.Compile(mod, o.c)
 	if err != nil {
 		return nil, err
 	}
-	res.Exe.Freeze()
 	return &Program{
 		exe:      res.Exe,
 		registry: res.Registry,

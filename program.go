@@ -67,7 +67,10 @@ func (p *Program) Disassemble() string {
 // Save writes the program's platform-independent part (bytecode,
 // constants, kernel names) to w, returning the byte count. Load restores
 // it; kernel implementations relink from an identically compiled Program.
+// Saving freezes the executable: the serialized artifact and the live one
+// must agree forever after.
 func (p *Program) Save(w io.Writer) (int64, error) {
+	p.exe.Freeze()
 	return p.exe.WriteTo(w)
 }
 
@@ -130,8 +133,10 @@ func isLiftedLambda(name string) bool {
 	return true
 }
 
-// validate checks entry existence and arity, the preconditions shared by
-// every invocation path.
+// validate checks entry existence, arity, and argument shape/dtype/kind
+// against the compiled signature — the preconditions shared by every
+// invocation path. A request that fails here (ErrUnknownEntry,
+// ErrBadArity, ErrBadInput) is rejected before it can reach a VM.
 func (p *Program) validate(entry string, args []Value) (*EntrySignature, error) {
 	sig, ok := p.entries[entry]
 	if !ok {
@@ -142,6 +147,9 @@ func (p *Program) validate(entry string, args []Value) (*EntrySignature, error) 
 	}
 	if p.unlinked {
 		return nil, fmt.Errorf("nimble: program was loaded without a kernel library; pass the compiled Program to Load")
+	}
+	if err := checkArgs(sig, args); err != nil {
+		return nil, err
 	}
 	return sig, nil
 }

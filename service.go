@@ -13,7 +13,9 @@ import (
 
 // ServiceConfig parameterizes Program.NewService. The zero value is a
 // sensible production default: GOMAXPROCS sessions, micro-batching enabled
-// for every entry the compiler proved row-separable.
+// for every entry the compiler proved row-separable, bounded per-entry
+// admission queues with deadline-aware shedding, and a consecutive-failure
+// circuit breaker per entry.
 type ServiceConfig struct {
 	// Workers is the session-pool size (default GOMAXPROCS).
 	Workers int
@@ -26,6 +28,22 @@ type ServiceConfig struct {
 	// MaxDelay bounds how long the first request of a batch waits for
 	// company (default 200µs).
 	MaxDelay time.Duration
+	// MaxQueue bounds each entry's admitted-but-waiting requests; arrivals
+	// beyond it are shed with ErrOverloaded instead of queuing unboundedly
+	// (default 4×Workers). Negative disables admission queue bounds.
+	MaxQueue int
+	// RequestTimeout is a per-request deadline applied inside Invoke when
+	// the caller's context has none (default 0 = none). Requests whose
+	// deadline the current backlog cannot meet are shed on arrival.
+	RequestTimeout time.Duration
+	// BreakerThreshold opens an entry's circuit breaker after this many
+	// consecutive internal faults (panics), shedding its traffic for
+	// BreakerCooldown and flipping Health to degraded (default 8;
+	// negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before probing
+	// again (default 1s).
+	BreakerCooldown time.Duration
 }
 
 // PoolStats re-exports the session-pool counters.
@@ -34,23 +52,47 @@ type PoolStats = serve.Stats
 // BatcherStats re-exports the micro-batcher counters.
 type BatcherStats = serve.BatchStats
 
-// ServiceStats snapshots a service's pool and batcher counters.
+// GateStats re-exports the per-entry admission-control counters.
+type GateStats = serve.GateStats
+
+// ServiceStats snapshots a service's pool, batcher, and admission counters.
 type ServiceStats struct {
 	Pool     PoolStats      `json:"pool"`
 	Batchers []BatcherStats `json:"batchers,omitempty"`
+	Gates    []GateStats    `json:"gates,omitempty"`
+}
+
+// EntryHealth reports one entry's fault state.
+type EntryHealth struct {
+	Entry string `json:"entry"`
+	// Healthy is false while the entry's circuit breaker is open.
+	Healthy bool `json:"healthy"`
+}
+
+// Health is the service-level health summary: Degraded when any entry's
+// circuit breaker is open. /healthz serves it.
+type Health struct {
+	Degraded bool          `json:"degraded"`
+	Entries  []EntryHealth `json:"entries"`
 }
 
 // Service executes one Program for concurrent callers: a pool of VM
-// sessions shares the frozen executable, and entries the compiler proved
-// row-separable additionally get a micro-batcher that coalesces concurrent
-// single-tensor requests into one kernel dispatch. Callers do not choose a
-// transport — Invoke routes each request to the batcher or the pool by the
-// entry's signature. All methods are safe for concurrent use.
+// sessions shares the frozen executable, entries the compiler proved
+// row-separable additionally get a micro-batcher, and every entry is
+// fronted by an admission gate — a bounded queue with deadline-aware load
+// shedding and a consecutive-failure circuit breaker — so overload
+// produces fast typed ErrOverloaded rejections instead of unbounded
+// queueing. A VM or kernel panic is isolated to its request: the caller
+// gets ErrInternal and the poisoned session is quarantined (replaced by a
+// fresh VM), never reused. All methods are safe for concurrent use.
 type Service struct {
 	p        *Program
 	pool     *serve.Pool
 	batchers map[string]*serve.Batcher
+	gates    map[string]*serve.Gate
+	timeout  time.Duration
 	closed   atomic.Bool
+	inflight atomic.Int64
 }
 
 // NewService builds a concurrent serving runtime over the program.
@@ -66,7 +108,22 @@ func (p *Program) NewService(cfg ServiceConfig) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{p: p, pool: pool, batchers: map[string]*serve.Batcher{}}
+	s := &Service{
+		p:        p,
+		pool:     pool,
+		batchers: map[string]*serve.Batcher{},
+		gates:    map[string]*serve.Gate{},
+		timeout:  cfg.RequestTimeout,
+	}
+	for _, name := range p.names {
+		s.gates[name] = serve.NewGate(serve.GateConfig{
+			Entry:            name,
+			Workers:          workers,
+			MaxQueue:         cfg.MaxQueue,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+		})
+	}
 	if !cfg.DisableBatching {
 		maxBatch := cfg.MaxBatch
 		if maxBatch <= 0 {
@@ -91,16 +148,47 @@ func (s *Service) Workers() int { return s.pool.Size() }
 
 // Invoke runs the named entry function, routing through the micro-batcher
 // when the entry is row-separable and the call is the single-tensor form,
-// and through the session pool otherwise. Waits (pool checkout, batch
-// assembly) are abandoned when ctx is canceled: the error wraps
-// ErrCanceled and ctx.Err(), and a request canceled while queued in a
-// batch is withdrawn without disturbing its batch-mates.
+// and through the session pool otherwise. Before dispatch the request
+// passes validation (ErrBadInput without consuming a session) and the
+// entry's admission gate (ErrOverloaded with a Retry-After hint when the
+// queue is full, the deadline is unmeetable, or the circuit breaker is
+// open). Waits are abandoned when ctx is canceled: the error wraps
+// ErrCanceled and ctx.Err(). A panic during execution surfaces as
+// ErrInternal and quarantines the session it poisoned.
 func (s *Service) Invoke(ctx context.Context, entry string, args ...Value) (Value, error) {
 	if s.closed.Load() {
 		return Value{}, fmt.Errorf("nimble: service: %w", ErrClosed)
 	}
 	if _, err := s.p.validate(entry, args); err != nil {
 		return Value{}, err
+	}
+	if s.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+	}
+	release, err := s.gates[entry].Admit(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	// In-flight accounting spans admission to release so Shutdown can
+	// drain admitted requests; the closed flag is re-checked inside the
+	// window so a request racing Shutdown either drains or rejects, never
+	// hangs.
+	s.inflight.Add(1)
+	start := time.Now()
+	out, err := s.dispatch(ctx, entry, args)
+	release(time.Since(start), err)
+	s.inflight.Add(-1)
+	return out, err
+}
+
+// dispatch routes one admitted request to the batcher or the pool.
+func (s *Service) dispatch(ctx context.Context, entry string, args []Value) (Value, error) {
+	if s.closed.Load() {
+		return Value{}, fmt.Errorf("nimble: service: %w", ErrClosed)
 	}
 	if b, ok := s.batchers[entry]; ok && len(args) == 1 {
 		if t, isTensor := args[0].Tensor(); isTensor && t != nil && t.Rank() >= 1 {
@@ -133,18 +221,82 @@ func (s *Service) Stats() ServiceStats {
 		if b, ok := s.batchers[name]; ok {
 			st.Batchers = append(st.Batchers, b.Stats())
 		}
+		st.Gates = append(st.Gates, s.gates[name].Stats())
 	}
 	return st
 }
 
-// Close drains the batchers (accepted requests are still answered) and
-// closes the pool; later Invokes return ErrClosed. Idempotent.
-func (s *Service) Close() {
+// Health reports the circuit-breaker state per entry: Degraded is true
+// while any breaker is open (that entry's recent requests kept dying in
+// the VM). Serving layers expose it on /healthz so load balancers stop
+// routing to a degraded replica before it pages anyone.
+func (s *Service) Health() Health {
+	h := Health{}
+	for _, name := range s.p.names {
+		ok := s.gates[name].Healthy()
+		if !ok {
+			h.Degraded = true
+		}
+		h.Entries = append(h.Entries, EntryHealth{Entry: name, Healthy: ok})
+	}
+	return h
+}
+
+// Shutdown closes the service gracefully: new Invokes fail immediately
+// with ErrClosed, the batchers drain every request they already accepted,
+// and in-flight invocations get until ctx is done to finish. When the
+// context fires first the pool closes out from under the stragglers —
+// requests still queued on the pool checkout fail with ErrClosed instead
+// of hanging — and Shutdown reports how many were cut loose. A nil error
+// means every admitted request drained.
+func (s *Service) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
-		return
+		return nil
 	}
-	for _, b := range s.batchers {
-		b.Close()
+	// Drain the batchers bounded by the same context: Close answers every
+	// accepted request (the pool is still open), but a wedged dispatch
+	// must not wedge Shutdown.
+	batchersDone := make(chan struct{})
+	go func() {
+		for _, b := range s.batchers {
+			b.Close()
+		}
+		close(batchersDone)
+	}()
+	var cut bool
+	select {
+	case <-batchersDone:
+	case <-ctx.Done():
+		cut = true
 	}
+	if !cut {
+		// Wait for in-flight requests; poll — shutdown is not a hot path.
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+	drain:
+		for s.inflight.Load() > 0 {
+			select {
+			case <-ctx.Done():
+				cut = true
+				break drain
+			case <-tick.C:
+			}
+		}
+	}
+	stragglers := s.inflight.Load()
 	s.pool.Close()
+	if cut && stragglers > 0 {
+		return fmt.Errorf("nimble: service: drain window expired with %d requests in flight: %w", stragglers, ErrClosed)
+	}
+	return nil
+}
+
+// Close shuts the service down with a bounded default drain (5s): accepted
+// and in-flight requests get that long to finish, stragglers are rejected
+// with ErrClosed instead of hanging. Use Shutdown to choose the bound.
+// Idempotent.
+func (s *Service) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
 }

@@ -3,7 +3,9 @@ package nimble
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 
+	"nimble/internal/serve"
 	"nimble/internal/vm"
 )
 
@@ -21,15 +23,21 @@ type Session struct {
 
 // NewSession creates an execution session over the program. Sessions are
 // cheap: any number may exist over one Program, each on its own goroutine.
+// The first session (or service, or Save) freezes the executable: from
+// here on the shared artifact is immutable.
 func (p *Program) NewSession() *Session {
+	p.exe.Freeze()
 	return &Session{p: p, m: vm.New(p.exe)}
 }
 
 // Invoke runs the named entry function. The context is honored at VM call
 // boundaries, so canceling mid-run stops a long dynamic execution; the
-// returned error then wraps ErrCanceled and ctx.Err(). Unknown entries and
-// arity mismatches fail fast with ErrUnknownEntry / ErrBadArity.
-func (s *Session) Invoke(ctx context.Context, entry string, args ...Value) (Value, error) {
+// returned error then wraps ErrCanceled and ctx.Err(). Unknown entries,
+// arity mismatches, and signature-violating arguments fail fast with
+// ErrUnknownEntry / ErrBadArity / ErrBadInput. A VM or kernel panic is
+// recovered into ErrInternal, and the session — whose reusable state may
+// be inconsistent — refuses further use with ErrClosed.
+func (s *Session) Invoke(ctx context.Context, entry string, args ...Value) (v Value, err error) {
 	if s.closed {
 		return Value{}, fmt.Errorf("nimble: session: %w", ErrClosed)
 	}
@@ -44,6 +52,15 @@ func (s *Session) Invoke(ctx context.Context, entry string, args ...Value) (Valu
 		}
 		objs[i] = o
 	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			// A session has no pool to mint a replacement from: poison it
+			// outright. The caller opens a fresh one; the Program is immutable
+			// and unharmed.
+			s.closed = true
+			v, err = Value{}, serve.Internal(entry, rec, debug.Stack())
+		}
+	}()
 	out, err := s.m.InvokeContext(ctx, entry, objs...)
 	if err != nil {
 		return Value{}, canceled(err)

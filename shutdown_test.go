@@ -1,0 +1,121 @@
+package nimble
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nimble/internal/faults"
+	"nimble/internal/models"
+)
+
+// TestShutdownDrainsInFlight: Shutdown with a generous context lets every
+// admitted request finish (no ErrClosed for them), rejects new arrivals
+// immediately, and returns nil.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	mcfg := models.MLPConfig{In: 8, Hidden: 16, Out: 4, Layers: 1, Seed: 9}
+	p, err := Compile(models.NewMLP(mcfg).Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every kernel dispatch stalls 5ms so requests are reliably in flight
+	// when Shutdown lands.
+	inj := faults.NewInjector(faults.Config{Seed: 5, SlowPer1024: 1024, SlowDelay: 5 * time.Millisecond})
+	if err := inj.WrapExecutable(p.exe); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := p.NewService(ServiceConfig{Workers: 2, DisableBatching: true, MaxQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := models.NewMLP(mcfg)
+	in := TensorValue(m.RandomBatch(rand.New(rand.NewSource(1)), 2))
+	const n = 8
+	errs := make([]error, n)
+	var started, wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			_, errs[i] = svc.Invoke(context.Background(), "main", in)
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(2 * time.Millisecond) // let the invokes pass admission
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with room to drain returned %v", err)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		// A request that had not passed the closed-check yet may reject
+		// with ErrClosed; one that was admitted must have drained cleanly.
+		if e != nil && !errors.Is(e, ErrClosed) {
+			t.Errorf("request %d: %v", i, e)
+		}
+	}
+	// New arrivals reject immediately after shutdown.
+	if _, err := svc.Invoke(context.Background(), "main", in); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown invoke error = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown returned %v", err)
+	}
+}
+
+// TestShutdownBoundedDrain: when the drain context expires first, Shutdown
+// returns promptly with an ErrClosed-wrapping error reporting the
+// stragglers instead of hanging, and the straggling requests themselves
+// resolve (with ErrClosed/ErrCanceled), not hang.
+func TestShutdownBoundedDrain(t *testing.T) {
+	mcfg := models.MLPConfig{In: 8, Hidden: 16, Out: 4, Layers: 1, Seed: 9}
+	p, err := Compile(models.NewMLP(mcfg).Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stalls far longer than the drain window.
+	inj := faults.NewInjector(faults.Config{Seed: 6, SlowPer1024: 1024, SlowDelay: 300 * time.Millisecond})
+	if err := inj.WrapExecutable(p.exe); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := p.NewService(ServiceConfig{Workers: 1, DisableBatching: true, MaxQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := models.NewMLP(mcfg)
+	in := TensorValue(m.RandomBatch(rand.New(rand.NewSource(2)), 2))
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Invoke(context.Background(), "main", in)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // the invoke is inside its 300ms stall
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = svc.Shutdown(ctx)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded Shutdown took %v", elapsed)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("expired-drain Shutdown returned %v, want an ErrClosed-wrapping straggler report", err)
+	}
+
+	// The straggler itself resolves rather than hanging forever.
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request hung after bounded shutdown")
+	}
+}

@@ -1,0 +1,145 @@
+package nimble
+
+import (
+	"fmt"
+)
+
+// badInputError is the concrete ErrBadInput: where in the argument the
+// violation sits (a dotted path, capped so a 50k-node list cannot build a
+// megabyte of context) and what was wrong.
+type badInputError struct {
+	entry  string
+	path   string
+	detail string
+}
+
+func (e *badInputError) Error() string {
+	return fmt.Sprintf("%v: %s: %s: %s", ErrBadInput, e.entry, e.path, e.detail)
+}
+
+func (e *badInputError) Is(target error) bool { return target == ErrBadInput }
+
+const maxInputPath = 160
+
+// prefixPath prepends one path segment while unwinding a validation
+// failure. Only the error path pays for string building — the success path
+// of checkValue allocates nothing — and the path stops growing at
+// maxInputPath so deep recursive inputs stay cheap to reject.
+func prefixPath(err error, seg string) error {
+	e, ok := err.(*badInputError)
+	if !ok {
+		return err
+	}
+	switch {
+	case e.path == "":
+		e.path = seg
+	case len(e.path) < maxInputPath:
+		e.path = seg + "." + e.path
+	case e.path[0] != '.':
+		e.path = "..." + e.path
+	}
+	return e
+}
+
+// checkValue validates one argument value against its signature parameter
+// type, before the request can touch a VM: kinds must agree, tensor dtype
+// and rank must match, static dimensions must match exactly (Any
+// dimensions are free — they are the paper's point), ADT tags must name a
+// real constructor and carry its arity, and tuple widths must line up.
+// Violations come back in the ErrBadInput family so servers answer 400
+// without burning a session on a request that can only panic.
+//
+// Signatures degraded to KindUnknownType (a Program loaded without its
+// compile-time metadata) accept anything — the VM is then the only
+// authority left.
+func checkValue(entry string, v Value, p TypeInfo) error {
+	if p.Kind == KindUnknownType {
+		if v.Kind() == KindInvalid {
+			return &badInputError{entry: entry, detail: "zero Value"}
+		}
+		return nil
+	}
+	switch v.Kind() {
+	case KindTensor:
+		if p.Kind != KindTensorType {
+			return &badInputError{entry: entry, detail: fmt.Sprintf("got a tensor, want %s", p.Kind)}
+		}
+		t, _ := v.Tensor()
+		if t == nil {
+			return &badInputError{entry: entry, detail: "nil tensor"}
+		}
+		if p.DType != "" && p.DType != t.DType().String() {
+			return &badInputError{entry: entry, detail: fmt.Sprintf("dtype %s, want %s", t.DType(), p.DType)}
+		}
+		if t.Rank() != len(p.Shape) {
+			return &badInputError{entry: entry, detail: fmt.Sprintf("rank %d (shape %v), want rank %d (%v)",
+				t.Rank(), t.Shape(), len(p.Shape), p.Shape)}
+		}
+		for i, d := range p.Shape {
+			if d != DimAny && t.Shape()[i] != d {
+				return &badInputError{entry: entry, detail: fmt.Sprintf("dim %d is %d, want %d (shape %v vs %v)",
+					i, t.Shape()[i], d, t.Shape(), p.Shape)}
+			}
+		}
+	case KindADT:
+		if p.Kind != KindADTType {
+			return &badInputError{entry: entry, detail: fmt.Sprintf("got an ADT value, want %s", p.Kind)}
+		}
+		if p.ADT == nil || p.ADT.Constructors == nil {
+			// A by-name reference to a recursive type: the constructor set
+			// is not repeated here, so only the kind is checkable.
+			return nil
+		}
+		var ctor *CtorInfo
+		for i := range p.ADT.Constructors {
+			if p.ADT.Constructors[i].Tag == v.Tag() {
+				ctor = &p.ADT.Constructors[i]
+				break
+			}
+		}
+		if ctor == nil {
+			return &badInputError{entry: entry,
+				detail: fmt.Sprintf("tag %d names no constructor of %s", v.Tag(), p.ADT.Name)}
+		}
+		if len(v.Fields()) != len(ctor.Fields) {
+			return &badInputError{entry: entry,
+				detail: fmt.Sprintf("%s.%s takes %d fields, got %d", p.ADT.Name, ctor.Name, len(ctor.Fields), len(v.Fields()))}
+		}
+		for i, f := range v.Fields() {
+			ft := ctor.Fields[i]
+			if ft.Kind == KindADTType && ft.ADT != nil && ft.ADT.Constructors == nil && ft.ADT.Name == p.ADT.Name {
+				// Recursive reference: reuse the full constructor set so a
+				// whole list/tree is validated, not just its first node.
+				ft.ADT = p.ADT
+			}
+			if err := checkValue(entry, f, ft); err != nil {
+				return prefixPath(err, fmt.Sprintf("%s[%d]", ctor.Name, i))
+			}
+		}
+	case KindTuple:
+		if p.Kind != KindTupleType {
+			return &badInputError{entry: entry, detail: fmt.Sprintf("got a tuple, want %s", p.Kind)}
+		}
+		if len(v.Fields()) != len(p.Fields) {
+			return &badInputError{entry: entry, detail: fmt.Sprintf("%d tuple fields, want %d", len(v.Fields()), len(p.Fields))}
+		}
+		for i, f := range v.Fields() {
+			if err := checkValue(entry, f, p.Fields[i]); err != nil {
+				return prefixPath(err, fmt.Sprintf("[%d]", i))
+			}
+		}
+	default:
+		return &badInputError{entry: entry, detail: "zero Value"}
+	}
+	return nil
+}
+
+// checkArgs validates every argument against the signature.
+func checkArgs(sig *EntrySignature, args []Value) error {
+	for i, a := range args {
+		if err := checkValue(sig.Name, a, sig.Params[i]); err != nil {
+			return prefixPath(err, fmt.Sprintf("arg %d", i))
+		}
+	}
+	return nil
+}
