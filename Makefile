@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke bench bench-full serve-bench ci
+.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke bench bench-full serve-bench ci
 
 all: build vet test
 
@@ -50,6 +50,11 @@ fuzz-smoke:
 # bodies must answer 4xx JSON, never a 5xx or a crash.
 invoke-fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInvokeHandler -fuzztime 30s ./cmd/nimble-serve
+
+# Same contract for the SSE streaming endpoint: open failures are plain
+# JSON statuses; a committed stream is token events ending in done/error.
+sse-fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSSEHandler -fuzztime 30s ./cmd/nimble-serve
 
 build:
 	$(GO) build ./...

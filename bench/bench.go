@@ -22,6 +22,12 @@ type (
 	ServeConfig = ibench.ServeConfig
 	ServeResult = ibench.ServeResult
 	ServeRow    = ibench.ServeRow
+	// DecodeResult / CoreResult are the streaming-decode benchmark and the
+	// committed machine-readable perf snapshot.
+	DecodeResult = ibench.DecodeResult
+	DecodeRow    = ibench.DecodeRow
+	CoreResult   = ibench.CoreResult
+	CoreRow      = ibench.CoreRow
 )
 
 // Table1 regenerates Table 1 (LSTM latency across systems).
@@ -41,6 +47,14 @@ func Figure3(c Config) (*Figure3Result, error) { return ibench.Figure3(c) }
 
 // MemPlan regenerates the memory-planning ablation.
 func MemPlan(c Config) (*MemPlanResult, error) { return ibench.MemPlan(c) }
+
+// Decode measures the autoregressive decoder: tokens/s and
+// time-to-first-token through the streaming path, per entry.
+func Decode(c Config) (*DecodeResult, error) { return ibench.Decode(c) }
+
+// Core produces the committed machine-readable perf snapshot
+// (BENCH_core.json): Nimble host per-token latency per model, quick config.
+func Core(c Config) (*CoreResult, error) { return ibench.Core(c) }
 
 // Serve runs the closed-loop concurrent-serving load generator.
 func Serve(c ServeConfig) (*ServeResult, error) { return ibench.Serve(c) }

@@ -20,15 +20,26 @@ import (
 type Model struct {
 	Name    string
 	Program *nimble.Program
-	// RandomInput draws one input for the main entry; n scales it
+	// Entry is the model's primary entry function; empty means "main"
+	// (the decoder's is "generate").
+	Entry string
+	// RandomInput draws one input for the primary entry; n scales it
 	// (sequence length, tree leaves, or batch rows).
 	RandomInput func(rng *rand.Rand, n int) nimble.Value
 	// Describe is a one-line human description for logs.
 	Describe string
 }
 
+// MainEntry returns the primary entry name ("main" unless overridden).
+func (m *Model) MainEntry() string {
+	if m.Entry == "" {
+		return "main"
+	}
+	return m.Entry
+}
+
 // Names lists the registered model names for flag usage strings.
-func Names() string { return "mlp | lstm | lstm2 | treelstm | bert | bert-base" }
+func Names() string { return "mlp | lstm | lstm2 | treelstm | bert | bert-base | decoder" }
 
 // ModelFlag registers the shared -model flag.
 func ModelFlag(def string) *string {
@@ -86,6 +97,16 @@ func Build(name string, opts ...nimble.Option) (*Model, error) {
 		}
 		m.Describe = fmt.Sprintf("bert L=%d H=%d (dynamic sequence length)",
 			cfg.Layers, cfg.Hidden)
+	case "decoder":
+		cfg := models.DefaultDecoderConfig()
+		mm := models.NewDecoder(cfg)
+		m.Program, err = nimble.Compile(mm.Module, opts...)
+		m.Entry = "generate"
+		m.RandomInput = func(rng *rand.Rand, n int) nimble.Value {
+			return models.StartTokenValue(rng.Int63n(int64(cfg.Vocab)))
+		}
+		m.Describe = fmt.Sprintf("decoder vocab=%d dim=%d layers=%d (streaming autoregressive generation, %d tokens)",
+			cfg.Vocab, cfg.Dim, cfg.Layers, cfg.MaxNew)
 	default:
 		return nil, fmt.Errorf("unknown -model %q (%s)", name, Names())
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"nimble/bench"
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "table1 | table2 | table3 | table4 | figure3 | memplan | all")
+	exp := flag.String("experiment", "all", "table1 | table2 | table3 | table4 | figure3 | memplan | decode | all")
 	quick := flag.Bool("quick", false, "reduced sample counts and model sizes")
 	seed := flag.Int64("seed", 7, "sampler seed")
 	model := cli.ModelFlag("")
@@ -29,7 +30,7 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 8, "session pool size for -serve")
 	serveDur := flag.Duration("serve-duration", time.Second, "measured window per -serve cell")
 	serveBatch := flag.Bool("serve-batch", true, "enable micro-batching for the MLP rows in -serve")
-	jsonPath := flag.String("json", "", "with -serve: also write the sweep as machine-readable JSON to this path")
+	jsonPath := flag.String("json", "", "with -serve: also write the sweep as machine-readable JSON to this path; otherwise: a directory to write the committed BENCH_core.json and BENCH_decode.json snapshots into")
 	flag.Parse()
 
 	if *serveMode {
@@ -74,6 +75,34 @@ func main() {
 	run("table4", func(c bench.Config) (fmt.Stringer, error) { return wrapT4(bench.Table4(c)) })
 	run("figure3", func(c bench.Config) (fmt.Stringer, error) { return wrapF3(bench.Figure3(c)) })
 	run("memplan", func(c bench.Config) (fmt.Stringer, error) { return wrapMP(bench.MemPlan(c)) })
+	run("decode", func(c bench.Config) (fmt.Stringer, error) { return wrapDec(bench.Decode(c)) })
+
+	// -json DIR regenerates the committed perf snapshots: BENCH_core.json
+	// (per-model host µs/token, quick config) and BENCH_decode.json
+	// (streaming decode tokens/s and TTFT).
+	if *jsonPath != "" {
+		core, err := bench.Core(cfg)
+		if err != nil {
+			log.Fatalf("core snapshot: %v", err)
+		}
+		writeSnapshot(filepath.Join(*jsonPath, "BENCH_core.json"), core)
+		dec, err := bench.Decode(cfg)
+		if err != nil {
+			log.Fatalf("decode snapshot: %v", err)
+		}
+		writeSnapshot(filepath.Join(*jsonPath, "BENCH_decode.json"), dec)
+	}
+}
+
+func writeSnapshot(path string, v any) {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatalf("snapshot %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		log.Fatalf("snapshot: %v", err)
+	}
+	log.Printf("wrote %s", path)
 }
 
 type str string
@@ -99,6 +128,12 @@ func wrapF3(t *bench.Figure3Result, err error) (fmt.Stringer, error) {
 	return str(t.Format()), nil
 }
 func wrapMP(t *bench.MemPlanResult, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return str(t.Format()), nil
+}
+func wrapDec(t *bench.DecodeResult, err error) (fmt.Stringer, error) {
 	if err != nil {
 		return nil, err
 	}

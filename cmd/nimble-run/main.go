@@ -45,7 +45,7 @@ func main() {
 		defer cancel()
 	}
 	start := time.Now()
-	out, err := sess.Invoke(ctx, "main", input)
+	out, err := sess.Invoke(ctx, m.MainEntry(), input)
 	lat := time.Since(start)
 	if err != nil {
 		log.Fatalf("run: %v", err)

@@ -17,6 +17,12 @@
 //	              {"adt":{"ctor":"Cons"|"tag":1,"fields":[value...]}}.
 //	              {"seq":[tensor,...]} is accepted for entries whose sole
 //	              parameter is a cons-list ADT (e.g. the LSTM).
+//	POST /stream  same body; responds with Server-Sent Events, one flushed
+//	              "token" event per value the entry emits through
+//	              stream.emit (the decoder's per-token output), then a
+//	              terminal "done" (with the final result) or "error" event.
+//	              Open failures are plain status responses exactly like
+//	              /invoke; mid-stream failures arrive as the "error" event.
 //	GET  /models  -> model name + every entry signature (types, Any dims,
 //	              ADT constructors, row-separability)
 //	GET  /healthz -> {"ok":true,...}; 503 + "ok":false while any entry's
@@ -345,6 +351,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", s.handleInvoke)
+	mux.HandleFunc("POST /stream", s.handleStream)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -381,6 +388,77 @@ func main() {
 	log.Printf("nimble-serve: drained; served %d invocations (%d errors, %d quarantined)", st.Invocations, st.Errors, st.Quarantined)
 }
 
+// decodeInvoke reads and validates an invoke/stream request body against
+// the entry's signature, writing the error response itself on failure
+// (ok == false means the response is already sent).
+func (s *server) decodeInvoke(w http.ResponseWriter, r *http.Request) (entry string, args []nimble.Value, ok bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req invokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooBig.Limit))
+			return "", nil, false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return "", nil, false
+	}
+	if req.Entry == "" {
+		req.Entry = "main"
+	}
+	sig, err := s.svc.Program().Entry(req.Entry)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return "", nil, false
+	}
+	switch {
+	case req.Seq != nil:
+		if len(sig.Params) != 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args; \"seq\" needs a single list parameter", sig.Name, len(sig.Params)))
+			return "", nil, false
+		}
+		v, err := seqToList(req.Seq, sig.Params[0])
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return "", nil, false
+		}
+		args = []nimble.Value{v}
+	default:
+		if len(req.Args) != len(sig.Params) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args, got %d", sig.Name, len(sig.Params), len(req.Args)))
+			return "", nil, false
+		}
+		args = make([]nimble.Value, len(req.Args))
+		for i, a := range req.Args {
+			v, err := toValue(a, sig.Params[i])
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("arg %d: %w", i, err))
+				return "", nil, false
+			}
+			args[i] = v
+		}
+	}
+	return req.Entry, args, true
+}
+
+// writeInvokeError maps err onto its status code (with the Retry-After
+// header for the overload family) and writes the JSON error body.
+func writeInvokeError(w http.ResponseWriter, err error) {
+	code := invokeStatus(err)
+	if code == http.StatusTooManyRequests {
+		// The admission controller's estimate becomes Retry-After,
+		// rounded up so a sub-second hint is never 0.
+		if d, ok := nimble.RetryAfter(err); ok {
+			secs := int(math.Ceil(d.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+	}
+	httpError(w, code, err)
+}
+
 func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	// Execution panics are recovered and typed inside the Service
 	// (ErrInternal + session quarantine); this recover is only the decoder
@@ -390,79 +468,110 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("handler panic: %v", rec))
 		}
 	}()
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	var req invokeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooBig.Limit))
-			return
-		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	entry, args, ok := s.decodeInvoke(w, r)
+	if !ok {
 		return
-	}
-	if req.Entry == "" {
-		req.Entry = "main"
-	}
-	sig, err := s.svc.Program().Entry(req.Entry)
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	var args []nimble.Value
-	switch {
-	case req.Seq != nil:
-		if len(sig.Params) != 1 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args; \"seq\" needs a single list parameter", sig.Name, len(sig.Params)))
-			return
-		}
-		v, err := seqToList(req.Seq, sig.Params[0])
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		args = []nimble.Value{v}
-	default:
-		if len(req.Args) != len(sig.Params) {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args, got %d", sig.Name, len(sig.Params), len(req.Args)))
-			return
-		}
-		args = make([]nimble.Value, len(req.Args))
-		for i, a := range req.Args {
-			v, err := toValue(a, sig.Params[i])
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("arg %d: %w", i, err))
-				return
-			}
-			args[i] = v
-		}
 	}
 
 	// The Service applies -request-timeout itself (RequestTimeout) when the
 	// caller's context carries no deadline; r.Context() still propagates
 	// client disconnects.
 	start := time.Now()
-	out, err := s.svc.Invoke(r.Context(), req.Entry, args...)
+	out, err := s.svc.Invoke(r.Context(), entry, args...)
 	if err != nil {
-		code := invokeStatus(err)
-		if code == http.StatusTooManyRequests {
-			// The admission controller's estimate becomes Retry-After,
-			// rounded up so a sub-second hint is never 0.
-			if d, ok := nimble.RetryAfter(err); ok {
-				secs := int(math.Ceil(d.Seconds()))
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
-			}
-		}
-		httpError(w, code, err)
+		writeInvokeError(w, err)
 		return
 	}
 	writeJSON(w, invokeResponse{
 		Output:    fromValue(out),
 		LatencyUS: float64(time.Since(start).Microseconds()),
 	})
+}
+
+// handleStream is the SSE form of /invoke: the same request body, but the
+// response is a text/event-stream delivering each value the entry emits
+// through stream.emit (a decoder's tokens) as its own flushed event.
+//
+// The error contract splits at the moment the stream opens. Everything
+// that can be decided synchronously — malformed body, unknown entry, bad
+// arguments, admission shedding (429 + Retry-After), service closed —
+// happens before any header is written and maps onto exactly the /invoke
+// status codes. Once the open succeeds the response is committed as a 200
+// event stream, and a mid-stream failure (isolated VM panic, client
+// deadline, drain cutoff) arrives as a terminal "error" event carrying the
+// status code it would have had, so clients always learn the outcome
+// in-band. A successful stream ends with a "done" event carrying the
+// entry's final result.
+//
+//	event: token   data: {"dtype":"int64","shape":[1],"data":[42]}
+//	event: done    data: {"tokens":32,"latency_us":...,"output":{...}}
+//	event: error   data: {"error":"...","status":500}
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	committed := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			if !committed {
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("handler panic: %v", rec))
+			}
+			// Mid-stream the connection is already an event stream; dropping
+			// it is the only honest signal left.
+		}
+	}()
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusNotImplemented, fmt.Errorf("streaming needs a flushable connection"))
+		return
+	}
+	entry, args, ok := s.decodeInvoke(w, r)
+	if !ok {
+		return
+	}
+	// Synchronous open: validation, gate admission, and session checkout
+	// all resolve here, while a plain status response is still possible.
+	st, err := s.svc.InvokeStream(r.Context(), entry, args...)
+	if err != nil {
+		writeInvokeError(w, err)
+		return
+	}
+	defer st.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	committed = true
+	fl.Flush()
+
+	start := time.Now()
+	tokens := 0
+	for st.Next() {
+		writeSSE(w, "token", fromValue(st.Value()))
+		fl.Flush()
+		tokens++
+	}
+	if err := st.Err(); err != nil {
+		// Too late for a status line; the terminal error event carries the
+		// status the open path would have used.
+		writeSSE(w, "error", map[string]any{"error": err.Error(), "status": invokeStatus(err)})
+		fl.Flush()
+		return
+	}
+	res, _ := st.Result()
+	writeSSE(w, "done", map[string]any{
+		"tokens":     tokens,
+		"latency_us": float64(time.Since(start).Microseconds()),
+		"output":     fromValue(res),
+	})
+	fl.Flush()
+}
+
+// writeSSE frames one server-sent event. The data payload is JSON, which
+// never contains a raw newline, so a single data: line is always valid SSE.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		blob = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
 }
 
 // invokeStatus maps the public error families onto HTTP status codes —

@@ -67,6 +67,63 @@ func validBody(rows int) []byte {
 	return b
 }
 
+var (
+	testDecOnce sync.Once
+	testDec     *server
+	testDecErr  error
+)
+
+// testDecoderServer serves the streaming decoder model; SSE tests and the
+// SSE fuzz target share it.
+func testDecoderServer(t testing.TB) *server {
+	t.Helper()
+	testDecOnce.Do(func() {
+		p, err := nimble.Compile(models.NewDecoder(models.DefaultDecoderConfig()).Module)
+		if err != nil {
+			testDecErr = err
+			return
+		}
+		svc, err := p.NewService(nimble.ServiceConfig{Workers: 2, DisableBatching: true})
+		if err != nil {
+			testDecErr = err
+			return
+		}
+		testDec = &server{model: "decoder", svc: svc, maxBody: 1 << 20, start: time.Now()}
+	})
+	if testDecErr != nil {
+		t.Fatal(testDecErr)
+	}
+	return testDec
+}
+
+func postStream(t testing.TB, s *server, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/stream", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handleStream(w, req)
+	return w
+}
+
+// sseEvents parses an SSE body into (event, data) pairs, failing on any
+// line that is not event:/data:/blank.
+func sseEvents(t testing.TB, body string) [][2]string {
+	t.Helper()
+	var out [][2]string
+	var event string
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			out = append(out, [2]string{event, strings.TrimPrefix(line, "data: ")})
+		default:
+			t.Fatalf("malformed SSE line %q in body:\n%s", line, body)
+		}
+	}
+	return out
+}
+
 // TestInvokeHandlerStatusMapping: each rejection class lands on its
 // documented status code, and a valid request succeeds.
 func TestInvokeHandlerStatusMapping(t *testing.T) {
@@ -166,6 +223,104 @@ func TestHealthzHealthy(t *testing.T) {
 	}
 }
 
+// TestStreamHandlerTokens: a valid decode request over /stream answers 200
+// text/event-stream, one flushed token event per generated token, and a
+// terminal done event whose token sequence matches the non-streaming
+// /invoke output of the same entry.
+func TestStreamHandlerTokens(t *testing.T) {
+	s := testDecoderServer(t)
+	body := []byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[5]}]}`)
+
+	wInv := postInvoke(t, s, body)
+	if wInv.Code != http.StatusOK {
+		t.Fatalf("/invoke status = %d: %s", wInv.Code, wInv.Body.String())
+	}
+	var inv struct {
+		Output struct {
+			Data []float64 `json:"data"`
+		} `json:"output"`
+	}
+	if err := json.Unmarshal(wInv.Body.Bytes(), &inv); err != nil {
+		t.Fatal(err)
+	}
+
+	w := postStream(t, s, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stream status = %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	if !w.Flushed {
+		t.Error("stream response never flushed")
+	}
+	events := sseEvents(t, w.Body.String())
+	var got []float64
+	for _, ev := range events[:len(events)-1] {
+		if ev[0] != "token" {
+			t.Fatalf("mid-stream event %q, want token", ev[0])
+		}
+		var tok struct {
+			Data []float64 `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(ev[1]), &tok); err != nil {
+			t.Fatalf("token event data %q: %v", ev[1], err)
+		}
+		got = append(got, tok.Data...)
+	}
+	last := events[len(events)-1]
+	if last[0] != "done" {
+		t.Fatalf("terminal event %q (%s), want done", last[0], last[1])
+	}
+	var done struct {
+		Tokens int `json:"tokens"`
+		Output struct {
+			Data []float64 `json:"data"`
+		} `json:"output"`
+	}
+	if err := json.Unmarshal([]byte(last[1]), &done); err != nil {
+		t.Fatal(err)
+	}
+	if want := models.DefaultDecoderConfig().MaxNew; done.Tokens != want || len(got) != want {
+		t.Fatalf("streamed %d token events, done reports %d, want %d", len(got), done.Tokens, want)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(inv.Output.Data) || fmt.Sprint(done.Output.Data) != fmt.Sprint(inv.Output.Data) {
+		t.Errorf("streamed tokens diverge from /invoke:\n  stream %v\n  done   %v\n  invoke %v",
+			got, done.Output.Data, inv.Output.Data)
+	}
+}
+
+// TestStreamHandlerOpenErrors: stream-open failures are plain status
+// responses with the full /invoke mapping — never a half-open event stream.
+func TestStreamHandlerOpenErrors(t *testing.T) {
+	s := testDecoderServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"garbage body", `{"entry": "generate", "args": [`, http.StatusBadRequest},
+		{"unknown entry", `{"entry":"nope","args":[]}`, http.StatusNotFound},
+		{"wrong arity", `{"entry":"generate","args":[]}`, http.StatusBadRequest},
+		{"wrong dtype", `{"entry":"generate","args":[{"dtype":"float32","shape":[1],"data":[5]}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postStream(t, s, []byte(tc.body))
+			if w.Code != tc.want {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, tc.want, w.Body.String())
+			}
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("open error Content-Type = %q, want application/json", ct)
+			}
+			var resp map[string]any
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("open error is not JSON: %s", w.Body.String())
+			}
+		})
+	}
+}
+
 // FuzzInvokeHandler: no request body — malformed JSON, hostile shapes,
 // deep nesting, binary junk — may crash the handler or surface as a 5xx.
 // With no fault injection configured every failure is the client's fault:
@@ -197,6 +352,56 @@ func FuzzInvokeHandler(f *testing.F) {
 		var resp map[string]any
 		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 			t.Fatalf("non-JSON response for body %q: %s", body, w.Body.String())
+		}
+	})
+}
+
+// FuzzSSEHandler: the /stream contract under hostile bodies. Every request
+// either fails the open with a non-5xx JSON status response, or commits to
+// a 200 event stream made exclusively of well-formed event:/data: frames
+// ending in done or error — and never panics the handler.
+func FuzzSSEHandler(f *testing.F) {
+	f.Add([]byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"entry":"generate_sampled","args":[{"dtype":"int64","shape":[1],"data":[99]}]}`))
+	f.Add([]byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[-1]}]}`))
+	f.Add([]byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[123456789]}]}`))
+	f.Add([]byte(`{"entry":"generate","args":[{"dtype":"float32","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[2],"data":[5,6]}]}`))
+	f.Add([]byte(`{"entry":"nope","args":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"entry":"generate","args":[{"adt":{"tag":0}}]}`))
+	f.Add([]byte(`{"entry":"generate","seq":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte("\x00\xff\xfe junk"))
+
+	s := testDecoderServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		w := postStream(t, s, body)
+		if ct := w.Header().Get("Content-Type"); ct == "text/event-stream" {
+			if w.Code != http.StatusOK {
+				t.Fatalf("event stream with status %d for body %q", w.Code, body)
+			}
+			events := sseEvents(t, w.Body.String())
+			if len(events) == 0 {
+				t.Fatalf("committed stream carries no events for body %q", body)
+			}
+			for _, ev := range events[:len(events)-1] {
+				if ev[0] != "token" {
+					t.Fatalf("mid-stream event %q for body %q", ev[0], body)
+				}
+			}
+			if last := events[len(events)-1][0]; last != "done" && last != "error" {
+				t.Fatalf("stream for body %q ends with %q, want done or error", body, last)
+			}
+			return
+		}
+		if w.Code >= 500 {
+			t.Fatalf("5xx (%d) open failure for body %q: %s", w.Code, body, w.Body.String())
+		}
+		var resp map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("non-JSON open failure for body %q: %s", body, w.Body.String())
 		}
 	})
 }

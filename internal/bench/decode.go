@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"nimble/internal/compiler"
+	"nimble/internal/models"
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// DecodeRow is one decode-benchmark measurement: a full autoregressive
+// generation of the configured token budget through one entry, streamed.
+type DecodeRow struct {
+	Entry string `json:"entry"`
+	// Tokens is the tokens generated per run (the model's MaxNew).
+	Tokens int `json:"tokens_per_run"`
+	Runs   int `json:"runs"`
+	// TTFTMicros is the mean time from stream open to the first emitted
+	// token — the latency a streaming client perceives before output starts.
+	TTFTMicros float64 `json:"ttft_us"`
+	// TokensPerSec is the streamed steady-state generation rate.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// PerTokenMicros is the streamed mean per-token latency (1e6/rate).
+	PerTokenMicros float64 `json:"us_per_token"`
+	// InvokeMicros is the non-streaming Invoke of the same entry, whole
+	// generation; streaming overhead is the gap to Tokens×PerTokenMicros.
+	InvokeMicros float64 `json:"invoke_us"`
+}
+
+// DecodeResult is the decode benchmark: tokens/s and time-to-first-token
+// for the autoregressive decoder's greedy and temperature-sampled entries.
+type DecodeResult struct {
+	Vocab  int         `json:"vocab"`
+	Dim    int         `json:"dim"`
+	Layers int         `json:"layers"`
+	Heads  int         `json:"heads"`
+	MaxNew int         `json:"max_new"`
+	Rows   []DecodeRow `json:"rows"`
+}
+
+// Format renders the decode benchmark.
+func (r *DecodeResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Decode: autoregressive generation, KV-cache in VM (vocab=%d dim=%d layers=%d heads=%d, %d tokens/run)\n",
+		r.Vocab, r.Dim, r.Layers, r.Heads, r.MaxNew)
+	fmt.Fprintf(&b, "%-18s%14s%14s%14s%14s\n", "", "ttft µs", "tokens/s", "µs/token", "invoke µs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s%14.1f%14.0f%14.1f%14.1f\n",
+			row.Entry, row.TTFTMicros, row.TokensPerSec, row.PerTokenMicros, row.InvokeMicros)
+	}
+	b.WriteString("note: ttft and tokens/s measured through InvokeStream (per-token delivery); invoke µs is the non-streaming run\n")
+	return b.String()
+}
+
+// Decode measures the decoder model's generation throughput and
+// time-to-first-token over both entries, streaming each token through the
+// VM's stream.emit sink exactly as Session.InvokeStream does.
+func Decode(cfg Config) (*DecodeResult, error) {
+	mcfg := models.DefaultDecoderConfig()
+	m := models.NewDecoder(mcfg)
+	machine, _, err := compiler.CompileToVM(m.Module, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &DecodeResult{Vocab: mcfg.Vocab, Dim: mcfg.Dim, Layers: mcfg.Layers, Heads: mcfg.Heads, MaxNew: mcfg.MaxNew}
+	runs := cfg.samples(30, 5)
+	ctx := context.Background()
+	for _, entry := range []string{"generate", "generate_sampled"} {
+		start := vm.NewTensorObj(models.StartToken(1))
+		// Warm: settle the storage pool and frame recycler before timing.
+		for i := 0; i < 2; i++ {
+			if _, err := machine.Invoke(entry, start); err != nil {
+				return nil, fmt.Errorf("bench: decode warmup %s: %w", entry, err)
+			}
+		}
+		var ttft, streamed time.Duration
+		tokens := 0
+		for i := 0; i < runs; i++ {
+			first := time.Duration(-1)
+			n := 0
+			t0 := time.Now()
+			_, err := machine.InvokeStreamContext(ctx, func(*tensor.Tensor) error {
+				if first < 0 {
+					first = time.Since(t0)
+				}
+				n++
+				return nil
+			}, entry, start)
+			streamed += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: decode stream %s: %w", entry, err)
+			}
+			ttft += first
+			tokens += n
+		}
+		invoke := measure(runs, func() {
+			if _, err := machine.Invoke(entry, start); err != nil {
+				panic(err)
+			}
+		})
+		rate := float64(tokens) / streamed.Seconds()
+		res.Rows = append(res.Rows, DecodeRow{
+			Entry:          entry,
+			Tokens:         tokens / runs,
+			Runs:           runs,
+			TTFTMicros:     float64(ttft.Microseconds()) / float64(runs),
+			TokensPerSec:   rate,
+			PerTokenMicros: 1e6 / rate,
+			InvokeMicros:   float64(invoke.Microseconds()) / float64(runs),
+		})
+	}
+	return res, nil
+}
+
+// CoreRow is one model's host-measured Nimble latency in the committed
+// perf snapshot.
+type CoreRow struct {
+	Model          string  `json:"model"`
+	MicrosPerToken float64 `json:"us_per_token"`
+}
+
+// CoreResult is the machine-readable perf snapshot written to
+// BENCH_core.json: the host-measured Nimble per-token latencies of the
+// paper's three dynamic models in the quick configuration. Committed per
+// PR so the performance trajectory is diffable in-repo.
+type CoreResult struct {
+	Config string    `json:"config"`
+	Rows   []CoreRow `json:"rows"`
+}
+
+// Format renders the snapshot.
+func (r *CoreResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Core snapshot (%s): Nimble host µs/token\n", r.Config)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s%10.1f\n", row.Model, row.MicrosPerToken)
+	}
+	return b.String()
+}
+
+// Core produces the BENCH_core.json snapshot. It always runs the quick
+// configuration: the snapshot exists to make the perf trajectory diffable
+// across commits, which requires a fixed, CI-affordable workload.
+func Core(cfg Config) (*CoreResult, error) {
+	cfg.Quick = true
+	res := &CoreResult{Config: "quick"}
+	for _, src := range []struct {
+		model string
+		f     func(Config) (*Table, error)
+	}{
+		{"lstm", Table1}, {"treelstm", Table2}, {"bert", Table3},
+	} {
+		t, err := src.f(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: core %s: %w", src.model, err)
+		}
+		res.Rows = append(res.Rows, CoreRow{Model: src.model, MicrosPerToken: t.Cells["Nimble"]["Intel CPU"].Value})
+	}
+	return res, nil
+}

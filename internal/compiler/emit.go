@@ -20,6 +20,9 @@ type funcCompiler struct {
 	// effect-only bindings (memory.kill).
 	unit vm.Reg
 	has  bool
+	// selfIdx is the function's own index for tail-call detection; -1 in
+	// lifted lambdas, which never self-recurse by global name.
+	selfIdx int
 }
 
 func (fc *funcCompiler) fresh() vm.Reg {
@@ -456,6 +459,184 @@ func (fc *funcCompiler) compileMatch(n *ir.Match) (vm.Reg, error) {
 		fc.out.code[g].Off1 = end - g
 	}
 	return join, nil
+}
+
+// compileTail lowers an expression in tail position. Self-recursive tail
+// calls become register moves plus a backward Goto instead of an OpInvoke, so
+// compiled loops (the autoregressive decoders, the recurrent models) run in
+// one frame with O(1) stack instead of one frame per iteration. The bool
+// result reports "done": every path through the expression ended in a back
+// edge, so the caller must not emit a Ret for it.
+func (fc *funcCompiler) compileTail(e ir.Expr) (vm.Reg, bool, error) {
+	switch n := e.(type) {
+	case *ir.Let:
+		// The ANF shape of a tail self-call is Let(v = @self(args), Var v);
+		// recognize it before compiling the call as a real invoke.
+		if call, ok := n.Value.(*ir.Call); ok && fc.isSelfCall(call) {
+			if body, ok := n.Body.(*ir.Var); ok && body == n.Bound {
+				return fc.emitSelfTail(call.Args)
+			}
+		}
+		r, err := fc.compileBinding(n.Bound, n.Value)
+		if err != nil {
+			return 0, false, err
+		}
+		fc.regs[n.Bound] = r
+		return fc.compileTail(n.Body)
+
+	case *ir.Call:
+		if fc.isSelfCall(n) {
+			return fc.emitSelfTail(n.Args)
+		}
+
+	case *ir.If:
+		return fc.compileIfTail(n)
+
+	case *ir.Match:
+		return fc.compileMatchTail(n)
+	}
+	r, err := fc.compile(e)
+	return r, false, err
+}
+
+func (fc *funcCompiler) isSelfCall(n *ir.Call) bool {
+	if fc.selfIdx < 0 {
+		return false
+	}
+	gv, ok := n.Callee.(*ir.GlobalVar)
+	if !ok {
+		return false
+	}
+	idx, ok := fc.c.fnIndex[gv.Name]
+	return ok && idx == fc.selfIdx && len(n.Args) == fc.out.numParams
+}
+
+// emitSelfTail lowers @self(args) in tail position: evaluate the arguments,
+// move them into the parameter registers (staging through temporaries when a
+// source still lives in a parameter register a later move would clobber),
+// and jump back to instruction 0. B=1 marks the Goto as a loop back edge so
+// the VM recycles the frame's loop-local storages before re-entering.
+func (fc *funcCompiler) emitSelfTail(args []ir.Expr) (vm.Reg, bool, error) {
+	regs, err := fc.compileArgs(args)
+	if err != nil {
+		return 0, false, err
+	}
+	np := fc.out.numParams
+	staged := make([]vm.Reg, len(regs))
+	copy(staged, regs)
+	for i, r := range regs {
+		if r < np && r != i {
+			t := fc.fresh()
+			fc.emit(vm.Instruction{Op: vm.OpMove, Dst: t, A: r})
+			staged[i] = t
+		}
+	}
+	for i, r := range staged {
+		if r != i {
+			fc.emit(vm.Instruction{Op: vm.OpMove, Dst: i, A: r})
+		}
+	}
+	idx := fc.emit(vm.Instruction{Op: vm.OpGoto, B: 1})
+	fc.out.code[idx].Off1 = -idx
+	return 0, true, nil
+}
+
+// compileIfTail is compileIf with both branches in tail position: a branch
+// that ends in a back edge skips the join move and exit jump entirely.
+func (fc *funcCompiler) compileIfTail(n *ir.If) (vm.Reg, bool, error) {
+	cond, err := fc.compile(n.Cond)
+	if err != nil {
+		return 0, false, err
+	}
+	trueReg := fc.fresh()
+	fc.emit(vm.Instruction{Op: vm.OpLoadConsti, Dst: trueReg, Imm: 1})
+	ifIdx := fc.emit(vm.Instruction{Op: vm.OpIf, A: cond, B: trueReg, Off1: 1})
+	join := fc.fresh()
+
+	thenReg, thenDone, err := fc.compileTail(n.Then)
+	if err != nil {
+		return 0, false, err
+	}
+	gotoIdx := -1
+	if !thenDone {
+		fc.emit(vm.Instruction{Op: vm.OpMove, Dst: join, A: thenReg})
+		gotoIdx = fc.emit(vm.Instruction{Op: vm.OpGoto})
+	}
+
+	elseStart := fc.pc()
+	fc.out.code[ifIdx].Off2 = elseStart - ifIdx
+	elseReg, elseDone, err := fc.compileTail(n.Else)
+	if err != nil {
+		return 0, false, err
+	}
+	if !elseDone {
+		fc.emit(vm.Instruction{Op: vm.OpMove, Dst: join, A: elseReg})
+	}
+	if gotoIdx >= 0 {
+		fc.out.code[gotoIdx].Off1 = fc.pc() - gotoIdx
+	}
+	return join, thenDone && elseDone, nil
+}
+
+// compileMatchTail is compileMatch with clause bodies in tail position.
+func (fc *funcCompiler) compileMatchTail(n *ir.Match) (vm.Reg, bool, error) {
+	data, err := fc.compile(n.Data)
+	if err != nil {
+		return 0, false, err
+	}
+	tag := fc.fresh()
+	fc.emit(vm.Instruction{Op: vm.OpGetTag, Dst: tag, A: data})
+	join := fc.fresh()
+
+	var exits []int
+	allDone := true
+	for _, clause := range n.Clauses {
+		var failIdx = -1
+		switch clause.Pattern.Kind {
+		case ir.PatCtor:
+			want := fc.fresh()
+			fc.emit(vm.Instruction{Op: vm.OpLoadConsti, Dst: want, Imm: int64(clause.Pattern.Ctor.Tag)})
+			failIdx = fc.emit(vm.Instruction{Op: vm.OpIf, A: tag, B: want, Off1: 1})
+			for i, sub := range clause.Pattern.Sub {
+				switch sub.Kind {
+				case ir.PatVar:
+					fieldReg := fc.fresh()
+					fc.emit(vm.Instruction{Op: vm.OpGetField, Dst: fieldReg, A: data, Imm: int64(i)})
+					fc.regs[sub.Var] = fieldReg
+				case ir.PatWildcard:
+					// bind nothing
+				default:
+					return 0, false, fmt.Errorf("nested constructor patterns are not supported by codegen; flatten the match")
+				}
+			}
+		case ir.PatVar:
+			fc.regs[clause.Pattern.Var] = data
+		case ir.PatWildcard:
+			// always matches
+		}
+		body, done, err := fc.compileTail(clause.Body)
+		if err != nil {
+			return 0, false, err
+		}
+		if !done {
+			allDone = false
+			fc.emit(vm.Instruction{Op: vm.OpMove, Dst: join, A: body})
+			exits = append(exits, fc.emit(vm.Instruction{Op: vm.OpGoto}))
+		}
+		if failIdx >= 0 {
+			fc.out.code[failIdx].Off2 = fc.pc() - failIdx
+		} else {
+			// Irrefutable pattern: later clauses are unreachable.
+			break
+		}
+	}
+	// Fall-through: no clause matched.
+	fc.emit(vm.Instruction{Op: vm.OpFatal})
+	end := fc.pc()
+	for _, g := range exits {
+		fc.out.code[g].Off1 = end - g
+	}
+	return join, allDone, nil
 }
 
 func (fc *funcCompiler) compileClosure(n *ir.Function) (vm.Reg, error) {

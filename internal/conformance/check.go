@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nimble/internal/compiler"
+	"nimble/internal/ir"
 	"nimble/internal/tensor"
 )
 
@@ -15,11 +16,25 @@ const (
 	ATol = 1e-5
 )
 
+// checkable is any generated program the differential harness can drive:
+// straight-line Programs and loop-carried LoopPrograms.
+type checkable interface {
+	Describe() string
+	BuildModule() *ir.Module
+	Inputs() []*tensor.Tensor
+	EagerEval() (*tensor.Tensor, error)
+}
+
 // Check compiles the program through the full pipeline, runs it on the VM,
 // runs the eager reference, and returns an error describing the first
 // divergence. A nil return means the two executions agree within
 // RTol/ATol.
-func Check(p *Program) error {
+func Check(p *Program) error { return check(p) }
+
+// CheckLoop is Check for loop-carried in-place programs.
+func CheckLoop(p *LoopProgram) error { return check(p) }
+
+func check(p checkable) error {
 	want, err := p.EagerEval()
 	if err != nil {
 		return fmt.Errorf("eager reference failed: %w\n%s", err, p.Describe())

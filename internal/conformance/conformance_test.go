@@ -47,9 +47,48 @@ func TestGeneratorCoversAllNodeKinds(t *testing.T) {
 	}
 }
 
+// TestLoopSeedCorpus sweeps loop-carried in-place programs: tail-call loops
+// threading state buffers through cache_append (and reading them back via
+// attn_cached) against the eager Go-loop reference.
+func TestLoopSeedCorpus(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		p := GenerateLoop(rand.New(rand.NewSource(seed)))
+		if err := CheckLoop(p); err != nil {
+			t.Errorf("loop seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestLoopGeneratorCoverage guards the loop generator against degenerating:
+// the attn read-back and constant-initialized-cache variants must both
+// appear across a fixed seed range.
+func TestLoopGeneratorCoverage(t *testing.T) {
+	attn, constInit, twoCaches := 0, 0, 0
+	for seed := int64(0); seed < 200; seed++ {
+		p := GenerateLoop(rand.New(rand.NewSource(seed)))
+		if p.useAttn {
+			attn++
+		}
+		if p.constInit {
+			constInit++
+		}
+		if p.twoCaches {
+			twoCaches++
+		}
+	}
+	if attn == 0 || constInit == 0 || twoCaches == 0 {
+		t.Errorf("degenerate loop generator: attn=%d constInit=%d twoCaches=%d of 200", attn, constInit, twoCaches)
+	}
+}
+
 // FuzzVMConformance is the native fuzz entry: bytes drive the generator
 // seed, so the fuzzer explores program space while every counterexample
-// minimizes to a single replayable seed.
+// minimizes to a single replayable seed. Each seed drives both the
+// straight-line generator and the loop-carried in-place generator.
 func FuzzVMConformance(f *testing.F) {
 	for seed := int64(0); seed < 24; seed++ {
 		f.Add(seed)
@@ -58,6 +97,10 @@ func FuzzVMConformance(f *testing.F) {
 		p := Generate(rand.New(rand.NewSource(seed)))
 		if err := Check(p); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lp := GenerateLoop(rand.New(rand.NewSource(seed)))
+		if err := CheckLoop(lp); err != nil {
+			t.Fatalf("loop seed %d: %v", seed, err)
 		}
 	})
 }

@@ -184,6 +184,16 @@ type Op struct {
 	Pattern  OpPattern
 	// NumInputs < 0 means variadic.
 	NumInputs int
+	// InPlace marks an operator whose result aliases (and mutates) its
+	// first argument — the append-style cache writes of autoregressive
+	// decoding. The memory planner routes the first argument as the
+	// invoke_mut destination instead of allocating a fresh buffer, and
+	// treats that argument as escaping so kill insertion and storage
+	// coalescing never recycle a buffer a later alias still reads. The
+	// first argument must be a planner-owned buffer (e.g. a state_zeros
+	// result or a value threaded through a loop), never an ir.Constant:
+	// constants are shared by reference across sessions.
+	InPlace bool
 }
 
 var (

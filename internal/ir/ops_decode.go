@@ -1,0 +1,231 @@
+package ir
+
+import (
+	"fmt"
+
+	"nimble/internal/kernels"
+	"nimble/internal/tensor"
+)
+
+// Operator names used by the compiler and runtime for streaming decode.
+const (
+	// OpStreamEmit is the identity operator the VM intercepts during
+	// streaming invocations: when a sink is attached, every value passing
+	// through it is also delivered (as a deep copy) to the sink.
+	OpStreamEmit = "stream.emit"
+)
+
+// The autoregressive-decode operator family: a mutable state buffer
+// (state_zeros), the in-place KV-cache append (cache_append), single-query
+// attention over the cached prefix (attn_cached), deterministic sampling
+// (sample_token), the loop-counter helpers (index_inc / index_lt), and the
+// streaming tap (stream.emit). state_zeros is deliberately distinct from
+// `zeros`: constant folding evaluates zeros into a shared ir.Constant, which
+// must never happen to a buffer that cache_append mutates in place.
+func init() {
+	RegisterOp(&Op{
+		Name: "state_zeros",
+		Rel: func(_ []Type, attrs Attrs) (Type, error) {
+			dims := attrs.Ints("shape")
+			dt, err := tensor.ParseDType(attrs.String("dtype", "float32"))
+			if err != nil {
+				return nil, err
+			}
+			outDims := make([]Dim, len(dims))
+			for i, d := range dims {
+				outDims[i] = StaticDim(d)
+			}
+			return &TensorType{Dims: outDims, DType: dt}, nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(_ []tensor.Shape, _ []*tensor.Tensor, attrs Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{tensor.Shape(attrs.Ints("shape")).Clone()}, nil
+			},
+		},
+		Eval: func(_ []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
+			dt, err := tensor.ParseDType(attrs.String("dtype", "float32"))
+			if err != nil {
+				return nil, err
+			}
+			return tensor.New(dt, attrs.Ints("shape")...), nil
+		},
+		EvalInto: func(_ []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			dt, err := tensor.ParseDType(attrs.String("dtype", "float32"))
+			if err != nil {
+				return nil, err
+			}
+			shape := tensor.Shape(attrs.Ints("shape"))
+			if out == nil || out.DType() != dt || out.NumElements() != shape.NumElements() {
+				return tensor.New(dt, shape...), nil
+			}
+			out.Fill(0)
+			return out, nil
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 0,
+	})
+
+	RegisterOp(&Op{
+		Name: "cache_append",
+		Rel: func(args []Type, _ Attrs) (Type, error) {
+			cache, ok1 := args[0].(*TensorType)
+			row, ok2 := args[1].(*TensorType)
+			idx, ok3 := args[2].(*TensorType)
+			if !ok1 || !ok2 || !ok3 {
+				return nil, fmt.Errorf("ir: cache_append requires tensor args")
+			}
+			if cache.DType != row.DType {
+				return nil, fmt.Errorf("ir: cache_append dtype mismatch: %s vs %s", cache, row)
+			}
+			if idx.DType != tensor.Int64 {
+				return nil, fmt.Errorf("ir: cache_append position must be int64, got %s", idx)
+			}
+			if cache.Rank() == 0 {
+				return nil, fmt.Errorf("ir: cache_append cache must be at least rank 1")
+			}
+			return cache, nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(inShapes []tensor.Shape, _ []*tensor.Tensor, _ Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{inShapes[0].Clone()}, nil
+			},
+		},
+		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
+			return kernels.CacheAppend(args[0], args[1], args[2])
+		},
+		EvalInto: func(args []*tensor.Tensor, _ Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.CacheAppendInto(args[0], args[1], args[2], out)
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 3,
+		InPlace:   true,
+	})
+
+	RegisterOp(&Op{
+		Name: "attn_cached",
+		Rel: func(args []Type, attrs Attrs) (Type, error) {
+			q, ok := args[0].(*TensorType)
+			if !ok {
+				return nil, fmt.Errorf("ir: attn_cached requires a tensor query")
+			}
+			if q.DType != tensor.Float32 {
+				return nil, fmt.Errorf("ir: attn_cached requires float32, got %s", q)
+			}
+			heads := attrs.Int("heads", 1)
+			if heads <= 0 {
+				return nil, fmt.Errorf("ir: attn_cached requires positive heads, got %d", heads)
+			}
+			return q, nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(inShapes []tensor.Shape, _ []*tensor.Tensor, _ Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{inShapes[0].Clone()}, nil
+			},
+		},
+		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
+			return kernels.AttnCached(args[0], args[1], args[2], args[3], attrs.Int("heads", 1))
+		},
+		EvalInto: func(args []*tensor.Tensor, attrs Attrs, out *tensor.Tensor) (*tensor.Tensor, error) {
+			return kernels.AttnCachedInto(args[0], args[1], args[2], args[3], attrs.Int("heads", 1), out)
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 4,
+	})
+
+	RegisterOp(&Op{
+		Name: "sample_token",
+		Rel: func(args []Type, _ Attrs) (Type, error) {
+			if _, ok := args[0].(*TensorType); !ok {
+				return nil, fmt.Errorf("ir: sample_token requires tensor logits")
+			}
+			return TT(tensor.Int64, 1), nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(_ []tensor.Shape, _ []*tensor.Tensor, _ Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{{1}}, nil
+			},
+		},
+		Eval: func(args []*tensor.Tensor, attrs Attrs) (*tensor.Tensor, error) {
+			return kernels.SampleToken(args[0], args[1], attrs.Float("temp", 0), int64(attrs.Int("seed", 0)))
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 2,
+	})
+
+	// index_inc / index_lt are the loop-counter primitives of compiled
+	// decode loops; the generic element-wise family is float32-only.
+	RegisterOp(&Op{
+		Name: "index_inc",
+		Rel: func(args []Type, _ Attrs) (Type, error) {
+			t, ok := args[0].(*TensorType)
+			if !ok || t.DType != tensor.Int64 {
+				return nil, fmt.Errorf("ir: index_inc requires an int64 tensor, got %s", args[0])
+			}
+			return t, nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(inShapes []tensor.Shape, _ []*tensor.Tensor, _ Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{inShapes[0].Clone()}, nil
+			},
+		},
+		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
+			out := args[0].Clone()
+			v := out.I64()
+			for i := range v {
+				v[i]++
+			}
+			return out, nil
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 1,
+	})
+
+	RegisterOp(&Op{
+		Name: "index_lt",
+		Rel: func(args []Type, _ Attrs) (Type, error) {
+			a, ok1 := args[0].(*TensorType)
+			b, ok2 := args[1].(*TensorType)
+			if !ok1 || !ok2 || a.DType != tensor.Int64 || b.DType != tensor.Int64 {
+				return nil, fmt.Errorf("ir: index_lt requires int64 tensors")
+			}
+			return TT(tensor.Bool), nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(_ []tensor.Shape, _ []*tensor.Tensor, _ Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{{}}, nil
+			},
+		},
+		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
+			return tensor.ScalarBool(args[0].I64()[0] < args[1].I64()[0]), nil
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 2,
+	})
+
+	RegisterOp(&Op{
+		Name: OpStreamEmit,
+		Rel: func(args []Type, _ Attrs) (Type, error) {
+			if _, ok := args[0].(*TensorType); !ok {
+				return nil, fmt.Errorf("ir: stream.emit requires a tensor")
+			}
+			return args[0], nil
+		},
+		Shape: ShapeFunc{
+			Mode: ShapeDataIndependent,
+			Fn: func(inShapes []tensor.Shape, _ []*tensor.Tensor, _ Attrs) ([]tensor.Shape, error) {
+				return []tensor.Shape{inShapes[0].Clone()}, nil
+			},
+		},
+		Eval: func(args []*tensor.Tensor, _ Attrs) (*tensor.Tensor, error) {
+			return args[0].Clone(), nil
+		},
+		Pattern:   PatternOpaque,
+		NumInputs: 1,
+	})
+}

@@ -17,6 +17,9 @@ type AllocStats struct {
 	ShapeFuncs int
 	// Kills counts inserted kill operations.
 	Kills int
+	// InPlace counts in-place operators routed onto their own first
+	// argument (no allocation).
+	InPlace int
 }
 
 // ManifestAlloc is the §4.3 memory-planning transform: it rewrites the
@@ -148,6 +151,24 @@ func manifestChain(e ir.Expr, target ir.Device, stats *AllocStats) (ir.Expr, err
 			continue
 		}
 
+		if op.InPlace {
+			if _, isConst := call.Args[0].(*ir.Constant); !isConst {
+				// In-place operator (cache_append): the result aliases its
+				// first argument, so that buffer itself becomes the
+				// invoke_mut destination — no allocation, no copy of the
+				// other rows. Constants are excluded: they are shared by
+				// reference across sessions, so an in-place write would
+				// corrupt every other user; the allocation path below then
+				// gives the operator a fresh buffer its EvalInto copies
+				// into (pure append semantics).
+				out = append(out, binding{v: b.v, value: invokeMut(op, call, call.Args[0])})
+				if stats != nil {
+					stats.InPlace++
+				}
+				continue
+			}
+		}
+
 		if shape, static := outType.StaticShape(); static {
 			// Static path: compile-time-sized storage.
 			sizeBytes := shape.NumElements() * outType.DType.Size()
@@ -268,6 +289,21 @@ func consumingUse(value ir.Expr) bool {
 	return op.Eval != nil
 }
 
+// inPlaceAliasArg returns the variable an in-place invoke_mut both reads and
+// overwrites (its routed destination), or nil for every other binding.
+func inPlaceAliasArg(value ir.Expr) *ir.Var {
+	call, op := opCall(value)
+	if op == nil || op.Name != ir.OpInvokeMut || len(call.Args) < 2 {
+		return nil
+	}
+	target, ok := call.Args[0].(*ir.OpRef)
+	if !ok || !target.Op.InPlace {
+		return nil
+	}
+	v, _ := call.Args[1].(*ir.Var)
+	return v
+}
+
 // insertKills adds kill(v) after the last top-level use of every
 // invoke_mut-produced tensor that does not escape the chain, freeing
 // buffers "before their reference count becomes zero due to exiting the
@@ -282,11 +318,19 @@ func consumingUse(value ir.Expr) bool {
 // serialized executables are byte-stable run over run.
 func insertKills(bs []binding, result ir.Expr, stats *AllocStats) []binding {
 	produced := map[*ir.Var]bool{}
+	escapes := map[*ir.Var]bool{}
 	var producedOrder []*ir.Var
 	for _, b := range bs {
-		if _, op := opCall(b.value); op != nil && op.Name == ir.OpInvokeMut {
+		if call, op := opCall(b.value); op != nil && op.Name == ir.OpInvokeMut {
 			produced[b.v] = true
 			producedOrder = append(producedOrder, b.v)
+			// An in-place product aliases its input buffer; killing either
+			// name while the other is still read would recycle live memory,
+			// so both sides of the alias are pinned (the input below, the
+			// product here).
+			if target, ok := call.Args[0].(*ir.OpRef); ok && target.Op.InPlace {
+				escapes[b.v] = true
+			}
 		}
 	}
 	if len(produced) == 0 {
@@ -295,13 +339,13 @@ func insertKills(bs []binding, result ir.Expr, stats *AllocStats) []binding {
 	// Track the last top-level use index of every produced var, and mark
 	// vars with any non-consuming use as escaping.
 	lastUse := map[*ir.Var]int{}
-	escapes := map[*ir.Var]bool{}
 	for i, b := range bs {
 		consuming := consumingUse(b.value)
+		aliased := inPlaceAliasArg(b.value)
 		for _, v := range ir.FreeVars(b.value) {
 			if produced[v] {
 				lastUse[v] = i
-				if !consuming {
+				if !consuming || v == aliased {
 					escapes[v] = true
 				}
 			}

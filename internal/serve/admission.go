@@ -70,6 +70,7 @@ type Gate struct {
 	consecFails int
 	openUntil   time.Time // breaker open while now < openUntil
 	halfOpen    bool      // cooldown expired; next outcome decides
+	probing     bool      // half-open probe in flight; arrivals shed until it resolves
 
 	// shed counters by cause, plus totals.
 	admittedTotal int64
@@ -113,19 +114,37 @@ func (g *Gate) Admit(ctx context.Context) (release func(d time.Duration, err err
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
-	if g.cfg.BreakerThreshold > 0 && !g.openUntil.IsZero() {
-		if now.Before(g.openUntil) {
+	if g.cfg.BreakerThreshold > 0 {
+		if !g.openUntil.IsZero() {
+			if now.Before(g.openUntil) {
+				g.shedBreaker++
+				return nil, &OverloadError{
+					Entry:      g.cfg.Entry,
+					Reason:     "circuit open after consecutive internal faults",
+					RetryAfter: g.openUntil.Sub(now),
+				}
+			}
+			// Cooldown over: half-open. Exactly one probe goes through; an
+			// internal failure re-opens immediately, any other completion
+			// closes the breaker.
+			g.openUntil = time.Time{}
+			g.halfOpen = true
+		}
+		if g.halfOpen && g.probing {
+			// A probe is already in flight. Admitting more traffic before
+			// its outcome is known would land a thundering herd on a
+			// possibly-still-broken entry, so shed until it resolves.
 			g.shedBreaker++
+			retry := g.ewma
+			if retry <= 0 {
+				retry = 10 * time.Millisecond
+			}
 			return nil, &OverloadError{
 				Entry:      g.cfg.Entry,
-				Reason:     "circuit open after consecutive internal faults",
-				RetryAfter: g.openUntil.Sub(now),
+				Reason:     "half-open: probe in flight",
+				RetryAfter: retry,
 			}
 		}
-		// Cooldown over: half-open. Let traffic probe; the first internal
-		// failure re-opens immediately, a success closes the breaker.
-		g.openUntil = time.Time{}
-		g.halfOpen = true
 	}
 
 	if g.cfg.MaxQueue > 0 {
@@ -156,17 +175,28 @@ func (g *Gate) Admit(ctx context.Context) (release func(d time.Duration, err err
 
 	g.admitted++
 	g.admittedTotal++
-	return g.release, nil
+	probe := false
+	if g.halfOpen && !g.probing {
+		// This request is the half-open probe; its release clears the
+		// probing latch so the gate either closes or re-opens.
+		g.probing = true
+		probe = true
+	}
+	return func(d time.Duration, err error) { g.release(d, err, probe) }, nil
 }
 
 // release records one completed request: backlog shrinks, the service-time
 // EWMA absorbs the sample, and the breaker counts the outcome.
-func (g *Gate) release(d time.Duration, err error) {
+func (g *Gate) release(d time.Duration, err error, probe bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.admitted--
+	if probe {
+		g.probing = false
+	}
 	// Cancellations say nothing about service speed or health: a client
 	// giving up early must neither shrink the EWMA nor trip the breaker.
+	// halfOpen is left as-is so the next arrival becomes the new probe.
 	if err != nil && errors.Is(err, ErrCanceled) {
 		return
 	}
@@ -194,8 +224,12 @@ func (g *Gate) release(d time.Duration, err error) {
 	}
 	if err == nil {
 		g.consecFails = 0
-		g.halfOpen = false
 	}
+	// Success — or a non-internal failure like bad input: either way the
+	// entry executed and answered, which is what a half-open probe exists
+	// to establish. Clear halfOpen on both, or a single later internal
+	// fault would re-open the breaker instantly despite healthy traffic.
+	g.halfOpen = false
 }
 
 // GateStats is a snapshot of one entry's admission counters.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -175,6 +176,133 @@ func TestGateBreaker(t *testing.T) {
 	mustAdmit(t, g)(time.Millisecond, boom)
 	if !g.Healthy() {
 		t.Fatal("closed breaker tripped on a single fault")
+	}
+}
+
+// TestGateHalfOpenSingleProbe: when the cooldown expires, exactly one
+// arrival may probe the entry; concurrent arrivals are shed with a
+// Retry-After hint until the probe's outcome is known. Regression test for
+// the half-open thundering herd: every post-cooldown arrival used to be
+// admitted before the first outcome was observed.
+func TestGateHalfOpenSingleProbe(t *testing.T) {
+	g := NewGate(GateConfig{
+		Entry: "main", Workers: 4,
+		BreakerThreshold: 2, BreakerCooldown: 30 * time.Millisecond,
+		MaxQueue: -1,
+	})
+	boom := &InternalError{Entry: "main", Panic: "boom"}
+	for i := 0; i < 2; i++ {
+		mustAdmit(t, g)(time.Millisecond, boom)
+	}
+	if g.Healthy() {
+		t.Fatal("breaker not open after threshold faults")
+	}
+	time.Sleep(40 * time.Millisecond) // cooldown over → half-open
+
+	const herd = 16
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted []func(time.Duration, error)
+		shed     int
+	)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Admit(context.Background())
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				admitted = append(admitted, rel)
+				return
+			}
+			if !errors.Is(err, ErrOverloaded) {
+				t.Errorf("herd admit error = %v, want ErrOverloaded", err)
+			}
+			var oe *OverloadError
+			if !errors.As(err, &oe) {
+				t.Errorf("herd error %T does not unwrap to *OverloadError", err)
+			} else if oe.RetryAfter <= 0 {
+				t.Errorf("herd RetryAfter = %v, want > 0", oe.RetryAfter)
+			}
+			shed++
+		}()
+	}
+	wg.Wait()
+	if len(admitted) != 1 {
+		t.Fatalf("half-open admitted %d of %d concurrent arrivals, want exactly 1 probe", len(admitted), herd)
+	}
+	if shed != herd-1 {
+		t.Fatalf("shed = %d, want %d", shed, herd-1)
+	}
+
+	// The probe succeeds: the breaker closes and traffic flows again.
+	admitted[0](time.Millisecond, nil)
+	if !g.Healthy() {
+		t.Fatal("probe success did not close the breaker")
+	}
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("post-probe admit: %v", err)
+	}
+	rel(time.Millisecond, nil)
+}
+
+// TestGateHalfOpenOutcomes pins what each probe outcome does to the
+// half-open state. Regression test: a probe failing with a non-internal,
+// non-canceled error (e.g. bad input) used to leave halfOpen set, so one
+// later internal fault re-opened the breaker instantly despite the entry
+// having proven it serves.
+func TestGateHalfOpenOutcomes(t *testing.T) {
+	boom := &InternalError{Entry: "main", Panic: "boom"}
+	cases := []struct {
+		name     string
+		probeErr error
+		// openAfterProbe: the probe outcome itself re-opens the breaker.
+		openAfterProbe bool
+		// openAfterNextFault: one subsequent internal fault re-opens it
+		// (only meaningful when openAfterProbe is false).
+		openAfterNextFault bool
+	}{
+		// Success closes the breaker; a single fault is below threshold.
+		{name: "success", probeErr: nil},
+		// A bad-input completion proves the entry serves: the breaker
+		// closes just like success, and one fault does not re-open it.
+		{name: "bad_input", probeErr: ErrBadInput},
+		// An internal fault on the probe re-opens immediately.
+		{name: "internal", probeErr: boom, openAfterProbe: true},
+		// A canceled probe says nothing: half-open persists, so the next
+		// admitted request is the new probe and its fault re-opens.
+		{name: "canceled", probeErr: ErrCanceled, openAfterNextFault: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGate(GateConfig{
+				Entry: "main", Workers: 1,
+				BreakerThreshold: 3, BreakerCooldown: 30 * time.Millisecond,
+				MaxQueue: -1,
+			})
+			for i := 0; i < 3; i++ {
+				mustAdmit(t, g)(time.Millisecond, boom)
+			}
+			if g.Healthy() {
+				t.Fatal("breaker not open after threshold faults")
+			}
+			time.Sleep(40 * time.Millisecond) // half-open
+
+			mustAdmit(t, g)(time.Millisecond, tc.probeErr)
+			if open := !g.Healthy(); open != tc.openAfterProbe {
+				t.Fatalf("breaker open after %s probe = %v, want %v", tc.name, open, tc.openAfterProbe)
+			}
+			if tc.openAfterProbe {
+				return
+			}
+			mustAdmit(t, g)(time.Millisecond, boom)
+			if open := !g.Healthy(); open != tc.openAfterNextFault {
+				t.Fatalf("breaker open after post-probe fault = %v, want %v", open, tc.openAfterNextFault)
+			}
+		})
 	}
 }
 

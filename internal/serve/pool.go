@@ -64,6 +64,25 @@ func (s *Session) Invoke(ctx context.Context, name string, args ...vm.Object) (o
 	return out, WrapCtxErr(err)
 }
 
+// InvokeStream runs the named entry on this session, delivering every
+// tensor the program passes through the IR's stream.emit operator to sink
+// while the run is still in flight. A sink error aborts the run. Panics are
+// recovered and poison the session exactly as in Invoke — including panics
+// raised while a partial token stream has already been delivered, which is
+// why streaming consumers must treat the stream's final error, not the
+// tokens, as the request's outcome.
+func (s *Session) InvokeStream(ctx context.Context, sink func(*tensor.Tensor) error, name string, args ...vm.Object) (out vm.Object, err error) {
+	s.invocations.Add(1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.poisoned = true
+			out, err = nil, Internal(name, rec, debug.Stack())
+		}
+	}()
+	out, err = s.machine.InvokeStreamContext(ctx, sink, name, args...)
+	return out, WrapCtxErr(err)
+}
+
 // InvokeTensors is the tensors-in, tensor-out convenience form.
 func (s *Session) InvokeTensors(ctx context.Context, name string, args ...*tensor.Tensor) (out *tensor.Tensor, err error) {
 	s.invocations.Add(1)
@@ -290,7 +309,7 @@ func (p *Pool) Invoke(ctx context.Context, name string, args ...vm.Object) (vm.O
 	// dispatch) must not leak the session out of the pool.
 	defer p.Release(s)
 	out, err := s.Invoke(ctx, name, args...)
-	p.note(err)
+	p.Note(err)
 	return out, err
 }
 
@@ -302,11 +321,11 @@ func (p *Pool) InvokeTensors(ctx context.Context, name string, args ...*tensor.T
 	}
 	defer p.Release(s)
 	out, err := s.InvokeTensors(ctx, name, args...)
-	p.note(err)
+	p.Note(err)
 	return out, err
 }
 
-func (p *Pool) note(err error) {
+func (p *Pool) Note(err error) {
 	p.invocations.Add(1)
 	// Client-initiated cancellations are not execution failures; counting
 	// them would let request deadlines inflate the pool's error rate.

@@ -33,6 +33,8 @@ import (
 type goldenModel struct {
 	name string
 	hash string
+	// entry is the invoked function; empty means "main".
+	entry string
 	// build compiles a fresh module (compilation mutates modules, so each
 	// call constructs anew) and returns entry arguments for the output
 	// comparison.
@@ -43,7 +45,7 @@ func goldenModels() []goldenModel {
 	return []goldenModel{
 		{
 			name: "lstm",
-			hash: "1ba7ee49ae70c348e1c2c6a4adfb211e8d0dd0e33c8fb3d0d6dfba9191b91fea",
+			hash: "8262bc2833556cff67ced2f86afa3b951e8566fc6953053bd3f228f7ee321b79",
 			build: func(t *testing.T) (*compiler.Result, []vm.Object) {
 				m := models.NewLSTM(models.LSTMConfig{Input: 16, Hidden: 24, Layers: 2, Seed: 42})
 				res, err := compiler.Compile(m.Module, compiler.Options{})
@@ -78,6 +80,19 @@ func goldenModels() []goldenModel {
 				}
 				ids := m.RandomIDs(rand.New(rand.NewSource(3)), 7)
 				return res, []vm.Object{vm.NewTensorObj(ids)}
+			},
+		},
+		{
+			name:  "decoder",
+			hash:  "96b80cfeb834a7483d7f326b9a6bc1939bde42d6b4e3e19dbce64b99c0d91745",
+			entry: "generate",
+			build: func(t *testing.T) (*compiler.Result, []vm.Object) {
+				m := models.NewDecoder(models.DefaultDecoderConfig())
+				res, err := compiler.Compile(m.Module, compiler.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, []vm.Object{vm.NewTensorObj(models.StartToken(9))}
 			},
 		},
 	}
@@ -129,11 +144,15 @@ func TestSerializeGolden(t *testing.T) {
 			if err := back.LinkKernels(res.Registry); err != nil {
 				t.Fatal(err)
 			}
-			origOut, err := vm.New(res.Exe).Invoke("main", args...)
+			entry := gm.entry
+			if entry == "" {
+				entry = "main"
+			}
+			origOut, err := vm.New(res.Exe).Invoke(entry, args...)
 			if err != nil {
 				t.Fatal(err)
 			}
-			backOut, err := vm.New(back).Invoke("main", args...)
+			backOut, err := vm.New(back).Invoke(entry, args...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -53,11 +53,19 @@ type VM struct {
 	// mutators panic afterwards because another goroutine may hold the
 	// session between the caller's observations.
 	pooled bool
+
+	// sink, when non-nil, receives a deep copy of every tensor flowing
+	// through a stream.emit kernel during the current invocation — the
+	// token-by-token delivery path of streaming decode. sinkKernel caches the
+	// executable's stream.emit kernel index (-1 when absent) so execPacked
+	// pays one integer compare per packed call.
+	sink       func(*tensor.Tensor) error
+	sinkKernel int
 }
 
 // New creates a VM over exe with the runtime storage pool enabled.
 func New(exe *Executable) *VM {
-	return &VM{exe: exe, pool: newStoragePool(), maxDepth: 1 << 20, keepScratch: map[*Storage]bool{}}
+	return &VM{exe: exe, pool: newStoragePool(), maxDepth: 1 << 20, keepScratch: map[*Storage]bool{}, sinkKernel: -1}
 }
 
 // SetProfiler attaches (or detaches, with nil) a profiler. It must be
@@ -107,6 +115,36 @@ func (vm *VM) InvokeContext(ctx context.Context, name string, args ...Object) (O
 	return vm.run(ctx, idx, args)
 }
 
+// InvokeStreamContext runs the named function like InvokeContext, but
+// additionally delivers a deep copy of every value flowing through a
+// stream.emit operator to sink, in program order, before execution proceeds.
+// A sink error aborts the invocation and is returned (wrapped) to the
+// caller, so a consumer that goes away cancels the producing loop. The final
+// return value is the same Object Invoke would produce: streaming and
+// non-streaming runs of a deterministic program yield identical results.
+func (vm *VM) InvokeStreamContext(ctx context.Context, sink func(*tensor.Tensor) error, name string, args ...Object) (Object, error) {
+	idx, err := vm.exe.EntryFunc(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vm.sink = sink
+	vm.sinkKernel = -1
+	for i, n := range vm.exe.KernelNames {
+		if n == ir.OpStreamEmit {
+			vm.sinkKernel = i
+			break
+		}
+	}
+	defer func() {
+		vm.sink = nil
+		vm.sinkKernel = -1
+	}()
+	return vm.run(ctx, idx, args)
+}
+
 // InvokeTensors is a convenience wrapper: tensors in, tensor out.
 func (vm *VM) InvokeTensors(name string, args ...*tensor.Tensor) (*tensor.Tensor, error) {
 	return vm.InvokeTensorsContext(context.Background(), name, args...)
@@ -135,6 +173,12 @@ type frame struct {
 	pc   int
 	// dst is the caller register receiving this frame's return value.
 	dst Reg
+	// allocs records every storage this frame acquired (when the pool is
+	// on). Tail-call loops re-enter the frame via a backward Goto without
+	// passing OpRet, so frame-exit release alone would leak one iteration's
+	// buffers per token; the loop back edge instead recycles everything not
+	// reachable from the next iteration's parameters.
+	allocs []*Storage
 }
 
 func (vm *VM) newFrame(fnIdx int, args []Object) (*frame, error) {
@@ -186,6 +230,10 @@ func (vm *VM) freeFrame(f *frame) {
 	for i := range f.regs {
 		f.regs[i] = nil
 	}
+	for i := range f.allocs {
+		f.allocs[i] = nil
+	}
+	f.allocs = f.allocs[:0]
 	vm.freeFrames = append(vm.freeFrames, f)
 }
 
@@ -392,12 +440,21 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 			}
 
 		case OpGoto:
-			if done != nil && in.Off1 < 0 {
+			if in.Off1 < 0 {
 				// Backward jump: the only way bytecode loops without a call.
-				select {
-				case <-done:
-					return nil, ctx.Err()
-				default:
+				if done != nil {
+					select {
+					case <-done:
+						return nil, ctx.Err()
+					default:
+					}
+				}
+				if in.B == 1 {
+					// Loop back edge (compiled self tail call): the next
+					// iteration's arguments are already in the parameter
+					// registers, so everything this frame allocated that they
+					// do not reach is this iteration's garbage.
+					vm.recycleLoopFrame(fr)
 				}
 			}
 			fr.pc += in.Off1
@@ -510,6 +567,17 @@ func (vm *VM) execPacked(fr *frame, in Instruction) error {
 		out = to.T
 		outObj = to
 		dev = to.Device
+		if to.Backing == nil {
+			// The destination is not a VM-allocated buffer. Planned calls
+			// always write alloc_tensor results (which carry their storage),
+			// so this is an in-place operator routed onto a value that
+			// flowed in from outside the planner — a constant loaded by
+			// reference, or a caller-supplied input. Mutating those would
+			// corrupt shared state; dropping the destination sends the
+			// kernel down its pure allocate-and-copy path instead.
+			out = nil
+			outObj = nil
+		}
 	}
 	var start time.Time
 	timing := vm.prof != nil && vm.prof.Timing
@@ -532,6 +600,14 @@ func (vm *VM) execPacked(fr *frame, in Instruction) error {
 		// Per-kernel name counts ride along with timing; the cheap
 		// counts-only mode uses Counts[OpInvokePacked] instead.
 		vm.prof.KernelCounts[vm.exe.KernelNames[in.Imm]]++
+	}
+	if vm.sink != nil && idx == vm.sinkKernel {
+		// stream.emit under an attached sink: deliver a deep copy — the
+		// live result may sit in a pooled buffer the loop recycles — and
+		// let a sink error cancel the producing program.
+		if err := vm.sink(res.Clone()); err != nil {
+			return fmt.Errorf("vm: stream sink: %w", err)
+		}
 	}
 	if res == out && outObj != nil {
 		// Destination-passing hit: the kernel wrote the planned buffer, so
@@ -566,6 +642,50 @@ func (vm *VM) releaseFrame(fr *frame, ret Object) {
 				keep[v] = true // avoid double release via aliased registers
 			}
 		}
+	}
+	// Storages acquired by this frame whose registers were since overwritten
+	// (loop-carried buffers threaded through parameters, then replaced) are
+	// reachable only through the alloc list.
+	for i, st := range fr.allocs {
+		if !keep[st] {
+			vm.pool.release(st)
+			keep[st] = true
+		}
+		fr.allocs[i] = nil
+	}
+	fr.allocs = fr.allocs[:0]
+}
+
+// recycleLoopFrame runs at a compiled loop's back edge: every storage the
+// frame has acquired that is not reachable from the next iteration's
+// parameter registers goes back to the pool, giving tail-call loops the
+// same steady-state allocation profile OpRet gives call-per-iteration
+// recursion. Non-parameter registers are cleared so a stale object can
+// neither resurrect a released storage in a later scan nor dangle into the
+// next iteration.
+func (vm *VM) recycleLoopFrame(fr *frame) {
+	np := vm.exe.Funcs[fr.fn].NumParams
+	if vm.pool != nil && len(fr.allocs) > 0 {
+		keep := vm.keepScratch
+		clear(keep)
+		for _, o := range fr.regs[:np] {
+			collectStorages(o, keep)
+		}
+		live := fr.allocs[:0]
+		for _, st := range fr.allocs {
+			if keep[st] {
+				live = append(live, st)
+			} else {
+				vm.pool.release(st)
+			}
+		}
+		for i := len(live); i < len(fr.allocs); i++ {
+			fr.allocs[i] = nil
+		}
+		fr.allocs = live
+	}
+	for i := np; i < len(fr.regs); i++ {
+		fr.regs[i] = nil
 	}
 }
 
@@ -616,6 +736,11 @@ func (vm *VM) execAllocStorage(fr *frame, in Instruction) error {
 	}
 	if st == nil {
 		st = &Storage{SizeBytes: size, Device: dev}
+	}
+	if vm.pool != nil {
+		// Track the acquisition so loop back edges (and frame exit) can
+		// release it without a register still pointing at it.
+		fr.allocs = append(fr.allocs, st)
 	}
 	if vm.prof != nil {
 		vm.prof.AllocBytes += int64(size)

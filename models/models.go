@@ -33,6 +33,14 @@ type (
 	MLP = imodels.MLP
 	// MLPConfig sizes it.
 	MLPConfig = imodels.MLPConfig
+	// Decoder is an autoregressive decoder-style transformer whose
+	// "generate" entries loop token-by-token inside the VM over mutable
+	// KV-cache buffers, emitting each sampled token through stream.emit —
+	// the model behind Session.InvokeStream / Service.InvokeStream.
+	Decoder = imodels.Decoder
+	// DecoderConfig sizes it (vocab, width, layers, heads, tokens to
+	// generate, sampling temperature and seed).
+	DecoderConfig = imodels.DecoderConfig
 )
 
 // NewLSTM builds a stacked LSTM; DefaultLSTMConfig matches the paper.
@@ -52,6 +60,17 @@ func BERTBase() BERTConfig         { return imodels.BERTBase() }
 // NewMLP builds the serving MLP head.
 func NewMLP(cfg MLPConfig) *MLP   { return imodels.NewMLP(cfg) }
 func DefaultMLPConfig() MLPConfig { return imodels.DefaultMLPConfig() }
+
+// NewDecoder builds the autoregressive decoder; DefaultDecoderConfig is the
+// evaluation size (128 vocab, 64 wide, 2 layers, 32 generated tokens).
+func NewDecoder(cfg DecoderConfig) *Decoder  { return imodels.NewDecoder(cfg) }
+func DefaultDecoderConfig() DecoderConfig    { return imodels.DefaultDecoderConfig() }
+
+// StartTokenValue wraps a start-token id as the [1]int64 Value the
+// decoder's generate entries consume.
+func StartTokenValue(id int64) nimble.Value {
+	return nimble.TensorValue(imodels.StartToken(id))
+}
 
 // RandomTree builds a random binary tree over n leaves.
 func RandomTree(rng *rand.Rand, n, inputDim int) *Tree {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nimble/internal/serve"
+	"nimble/internal/tensor"
 	"nimble/internal/vm"
 )
 
@@ -183,6 +184,75 @@ func (s *Service) Invoke(ctx context.Context, entry string, args ...Value) (Valu
 	release(time.Since(start), err)
 	s.inflight.Add(-1)
 	return out, err
+}
+
+// InvokeStream runs the named entry like Invoke but returns a Stream over
+// the values the program emits through stream.emit while it runs. The open
+// is synchronous and carries Invoke's full admission semantics: validation
+// (ErrBadInput), the entry's gate (ErrOverloaded with a Retry-After hint),
+// and the session checkout all happen before InvokeStream returns, so a
+// server can map an open failure to a proper HTTP status before it commits
+// to a streaming response. Streams bypass the micro-batcher — per-token
+// emission is inherently per-request.
+//
+// The checked-out session, the admission slot, and the in-flight count are
+// held for the stream's whole life and released when the run finishes or
+// the stream is closed; Shutdown therefore drains open streams exactly
+// like in-flight Invokes. RequestTimeout, when configured, bounds the
+// entire stream, first token to last.
+func (s *Service) InvokeStream(ctx context.Context, entry string, args ...Value) (*Stream, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("nimble: service: %w", ErrClosed)
+	}
+	if _, err := s.p.validate(entry, args); err != nil {
+		return nil, err
+	}
+	objs := make([]vm.Object, len(args))
+	for i, a := range args {
+		o, err := toObject(a)
+		if err != nil {
+			return nil, fmt.Errorf("nimble: %s arg %d: %w", entry, i, err)
+		}
+		objs[i] = o
+	}
+	cancelT := func() {}
+	if s.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancelT = context.WithTimeout(ctx, s.timeout)
+		}
+	}
+	release, err := s.gates[entry].Admit(ctx)
+	if err != nil {
+		cancelT()
+		return nil, err
+	}
+	s.inflight.Add(1)
+	start := time.Now()
+	fail := func(err error) (*Stream, error) {
+		release(time.Since(start), err)
+		s.inflight.Add(-1)
+		cancelT()
+		return nil, err
+	}
+	// Same race rule as Invoke: the closed flag is re-checked inside the
+	// in-flight window so an open racing Shutdown either drains or rejects.
+	if s.closed.Load() {
+		return fail(fmt.Errorf("nimble: service: %w", ErrClosed))
+	}
+	sess, err := s.pool.Acquire(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	st := runStream(ctx, func(runCtx context.Context, sink func(*tensor.Tensor) error) (vm.Object, error) {
+		return sess.InvokeStream(runCtx, sink, entry, objs...)
+	}, func(err error) {
+		s.pool.Release(sess)
+		s.pool.Note(err)
+		release(time.Since(start), err)
+		s.inflight.Add(-1)
+		cancelT()
+	})
+	return st, nil
 }
 
 // dispatch routes one admitted request to the batcher or the pool.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 
 	"nimble/internal/serve"
+	"nimble/internal/tensor"
 	"nimble/internal/vm"
 )
 
@@ -19,6 +21,11 @@ type Session struct {
 	m      *vm.VM
 	prof   *vm.Profiler
 	closed bool
+	// streaming is set while an InvokeStream is open. It is the one field
+	// touched from another goroutine (the stream's producer clears it when
+	// the run unwinds), hence atomic; everything else keeps the session's
+	// single-goroutine discipline.
+	streaming atomic.Bool
 }
 
 // NewSession creates an execution session over the program. Sessions are
@@ -38,6 +45,9 @@ func (p *Program) NewSession() *Session {
 // recovered into ErrInternal, and the session — whose reusable state may
 // be inconsistent — refuses further use with ErrClosed.
 func (s *Session) Invoke(ctx context.Context, entry string, args ...Value) (v Value, err error) {
+	if s.streaming.Load() {
+		return Value{}, fmt.Errorf("nimble: session: %w", ErrBusy)
+	}
 	if s.closed {
 		return Value{}, fmt.Errorf("nimble: session: %w", ErrClosed)
 	}
@@ -66,6 +76,52 @@ func (s *Session) Invoke(ctx context.Context, entry string, args ...Value) (v Va
 		return Value{}, canceled(err)
 	}
 	return fromObject(out)
+}
+
+// InvokeStream runs the named entry like Invoke, but returns immediately
+// with a Stream over the values the program emits through the IR's
+// stream.emit operator (a decoder's per-token output) while the run
+// continues on a background goroutine. Validation is synchronous: unknown
+// entries, arity mismatches, and signature violations fail here, before any
+// stream exists. The run itself is still single-threaded on this session's
+// VM — until the stream is drained or closed, further Invoke/InvokeStream
+// calls fail fast with ErrBusy rather than racing the open run. A panic
+// mid-stream poisons the session (ErrClosed thereafter) and surfaces as
+// ErrInternal from the stream's Err.
+func (s *Session) InvokeStream(ctx context.Context, entry string, args ...Value) (*Stream, error) {
+	if s.streaming.Load() {
+		return nil, fmt.Errorf("nimble: session: %w", ErrBusy)
+	}
+	if s.closed {
+		return nil, fmt.Errorf("nimble: session: %w", ErrClosed)
+	}
+	if _, err := s.p.validate(entry, args); err != nil {
+		return nil, err
+	}
+	objs := make([]vm.Object, len(args))
+	for i, a := range args {
+		o, err := toObject(a)
+		if err != nil {
+			return nil, fmt.Errorf("nimble: %s arg %d: %w", entry, i, err)
+		}
+		objs[i] = o
+	}
+	s.streaming.Store(true)
+	st := runStream(ctx, func(runCtx context.Context, sink func(*tensor.Tensor) error) (out vm.Object, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.closed = true
+				out, err = nil, serve.Internal(entry, rec, debug.Stack())
+			}
+		}()
+		return s.m.InvokeStreamContext(runCtx, sink, entry, objs...)
+	}, func(error) {
+		// Clearing the flag is the release point: an Invoke that observes
+		// streaming == false happens-after everything the stream's run did,
+		// including a poisoning panic's closed = true.
+		s.streaming.Store(false)
+	})
+	return st, nil
 }
 
 // Close marks the session unusable; later Invokes return ErrClosed.
