@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke bench bench-full serve-bench ci
+.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke verify-smoke bench bench-full serve-bench ci
 
 all: build vet test
 
@@ -46,6 +46,14 @@ chaos:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzVMConformance -fuzztime 30s ./internal/conformance
 
+# The static verifier's own gate: the seeded-mutation corpus must all be
+# caught, every registered model must verify clean, and a short
+# conformance fuzz runs with NIMBLE_VERIFY=1 so every random program is
+# also checked after every pass (the verifier's false-positive hunt).
+verify-smoke:
+	$(GO) test -count=1 ./internal/verify
+	NIMBLE_VERIFY=1 $(GO) test -run '^$$' -fuzz FuzzVMConformance -fuzztime 30s ./internal/conformance
+
 # 30-second fuzz of nimble-serve's JSON decode + invoke path: malformed
 # bodies must answer 4xx JSON, never a 5xx or a crash.
 invoke-fuzz-smoke:
@@ -59,8 +67,13 @@ sse-fuzz-smoke:
 build:
 	$(GO) build ./...
 
+# Toolchain vet plus the repo's own analyzer suite (cmd/nimble-vet):
+# panic discipline in request paths, ctx-threaded blocking waits, no
+# retained planner-owned buffers in kernels, no allocating Eval inside
+# EvalInto. The tree must stay at zero findings.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/nimble-vet
 
 test:
 	$(GO) test ./...

@@ -21,15 +21,22 @@ func main() {
 	out := flag.String("o", "model.nimble", "output executable path")
 	target := flag.String("target", "cpu", "target device: cpu | gpu")
 	dispatch := flag.Int("dispatch", 8, "symbolic dense dispatch width (1, 2, 4, 8)")
+	verify := flag.Bool("verify", false, "run the static invariant verifier after every pass and over the bytecode; violations fail the build")
 	flag.Parse()
 
 	opts := []nimble.Option{nimble.WithDispatchWidth(*dispatch)}
 	if *target == "gpu" {
 		opts = append(opts, nimble.WithTarget(ir.GPU(0)))
 	}
+	if *verify {
+		opts = append(opts, nimble.WithVerify())
+	}
 	m, err := cli.Build(*model, opts...)
 	if err != nil {
 		log.Fatalf("compile: %v", err)
+	}
+	if *verify {
+		fmt.Println("verify: all pass boundaries and the executable check clean")
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -18,7 +18,18 @@ import (
 func main() {
 	model := cli.ModelFlag("")
 	exe := cli.ExeFlag("")
+	verify := flag.Bool("verify", false, "check the executable against the static invariant catalog; violations print and exit non-zero")
 	flag.Parse()
+
+	report := func(p *nimble.Program) {
+		if !*verify {
+			return
+		}
+		if err := p.Verify(); err != nil {
+			log.Fatalf("%v", err)
+		}
+		fmt.Println("verify: executable checks clean")
+	}
 
 	if *model != "" {
 		// Compile in memory and disassemble: full signatures available.
@@ -30,6 +41,7 @@ func main() {
 			fmt.Printf("entry %s\n", sig)
 		}
 		fmt.Print(m.Program.Disassemble())
+		report(m.Program)
 		return
 	}
 	path := *exe
@@ -50,4 +62,5 @@ func main() {
 		log.Fatalf("load: %v", err)
 	}
 	fmt.Print(p.Disassemble())
+	report(p)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nimble/internal/serve"
+	"nimble/internal/verify"
 )
 
 // Sentinel errors of the public API. All are matched with errors.Is; the
@@ -49,6 +50,12 @@ var (
 	// after consecutive internal faults. RetryAfter extracts the back-off
 	// hint these errors carry.
 	ErrOverloaded = serve.ErrOverloaded
+	// ErrVerify reports a static-verifier rejection: a compiled artifact
+	// (the IR after some pass, the emitted bytecode, or a deserialized
+	// executable in Load) violated a machine-checked invariant. The concrete
+	// error is a *VerificationError listing every violation; it matches this
+	// sentinel with errors.Is. See docs/verifier.md for the catalog.
+	ErrVerify = errors.New("nimble: verification failed")
 )
 
 // RetryAfter extracts the back-off hint from an ErrOverloaded-family
@@ -91,4 +98,39 @@ func badInput(entry string, detail string) error {
 // The classification itself lives in internal/serve so both layers agree.
 func canceled(err error) error {
 	return serve.WrapCtxErr(err)
+}
+
+// VerificationError reports invariant violations found by the static
+// verifier (WithVerify, NIMBLE_VERIFY=1, or Load's executable check). It
+// matches ErrVerify with errors.Is. Stage names the pipeline boundary that
+// failed ("after manifest-alloc", "executable", "loaded executable");
+// Violations holds one rendered diagnostic per violated invariant, each
+// prefixed with its catalog ID ("[mem.coalesce-overlap] ...").
+type VerificationError struct {
+	Stage      string
+	Violations []string
+}
+
+func (e *VerificationError) Error() string {
+	msg := fmt.Sprintf("%s: %d invariant violation(s) %s", ErrVerify.Error(), len(e.Violations), e.Stage)
+	for _, v := range e.Violations {
+		msg += "\n  " + v
+	}
+	return msg
+}
+
+func (e *VerificationError) Is(target error) bool { return target == ErrVerify }
+
+// wrapVerify converts an internal *verify.Error buried anywhere in err's
+// chain into the public *VerificationError; other errors pass through.
+func wrapVerify(err error) error {
+	var ve *verify.Error
+	if !errors.As(err, &ve) {
+		return err
+	}
+	pub := &VerificationError{Stage: ve.Stage}
+	for _, v := range ve.Violations {
+		pub.Violations = append(pub.Violations, v.String())
+	}
+	return pub
 }

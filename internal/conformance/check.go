@@ -39,7 +39,11 @@ func check(p checkable) error {
 	if err != nil {
 		return fmt.Errorf("eager reference failed: %w\n%s", err, p.Describe())
 	}
-	machine, _, err := compiler.CompileToVM(p.BuildModule(), compiler.Options{})
+	// Verify: true runs the static verifier after every pass on every
+	// generated program, so the fuzzer doubles as the verifier's
+	// false-positive hunt — any invariant "violation" on a program whose
+	// compiled output also matches eager execution is a verifier bug.
+	machine, _, err := compiler.CompileToVM(p.BuildModule(), compiler.Options{Verify: true})
 	if err != nil {
 		return fmt.Errorf("compile failed: %w\n%s", err, p.Describe())
 	}

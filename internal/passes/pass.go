@@ -31,6 +31,11 @@ type Manager struct {
 	passes []Pass
 	// Trace receives one line per executed pass when non-nil.
 	Trace func(string)
+	// AfterPass, when non-nil, runs after every pass with the pass name and
+	// the transformed module; a non-nil error aborts the pipeline. The
+	// compiler's check mode hangs the static verifier here so a bad pass is
+	// reported at its own boundary.
+	AfterPass func(name string, mod *ir.Module) error
 }
 
 // NewManager builds a manager over the given passes.
@@ -67,6 +72,11 @@ func (m *Manager) Run(mod *ir.Module) error {
 		}
 		if m.Trace != nil {
 			m.Trace(p.Name)
+		}
+		if m.AfterPass != nil {
+			if err := m.AfterPass(p.Name, mod); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

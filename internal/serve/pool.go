@@ -255,6 +255,10 @@ func (p *Pool) checkoutLocked() {
 // dropped on the floor for the GC, with a fresh VM over the same frozen
 // executable minted in its place — so pool size is conserved and no state
 // touched by the faulting request can resurface in a later one.
+//
+// vet:no-ctx — the only channel operation is the direct handoff to a parked
+// Acquire, whose single-slot buffer the waiter owns; the send can never
+// block.
 func (p *Pool) Release(s *Session) {
 	if s.poisoned {
 		m := vm.New(p.exe)
@@ -336,6 +340,10 @@ func (p *Pool) Note(err error) {
 
 // Close marks the pool closed; blocked and future Acquires fail with
 // ErrClosed. Sessions already checked out may finish and Release normally.
+//
+// vet:no-ctx — the only channel operations are the wake-ups of parked
+// waiters, each a send into a single-slot buffer the waiter owns; none can
+// block.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true

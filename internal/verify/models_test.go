@@ -1,0 +1,85 @@
+package verify_test
+
+// The positive half of the corpus: every registered model must compile with
+// check mode on and zero violations. Together with the negative corpus this
+// bounds the verifier from both sides — strict enough to catch every seeded
+// mutation, lenient enough to accept everything the real pipeline emits.
+
+import (
+	"testing"
+
+	"nimble/internal/compiler"
+	"nimble/internal/ir"
+	"nimble/internal/models"
+)
+
+func TestAllModelsVerifyClean(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *ir.Module
+	}{
+		{"mlp", func() *ir.Module { return models.NewMLP(models.DefaultMLPConfig()).Module }},
+		{"lstm", func() *ir.Module { return models.NewLSTM(models.DefaultLSTMConfig(1)).Module }},
+		{"treelstm", func() *ir.Module { return models.NewTreeLSTM(models.DefaultTreeLSTMConfig()).Module }},
+		{"bert", func() *ir.Module { return models.NewBERT(models.BERTReduced()).Module }},
+		{"decoder", func() *ir.Module { return models.NewDecoder(models.DefaultDecoderConfig()).Module }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := compiler.Compile(tc.build(), compiler.Options{Verify: true}); err != nil {
+				t.Fatalf("%s does not verify cleanly:\n%v", tc.name, err)
+			}
+		})
+	}
+}
+
+// BenchmarkCompileVerify is the bench guard for check mode: verification is
+// opt-in precisely because it costs compile time, and this pair keeps the
+// cost visible (EXPERIMENTS.md records the delta). Run-time numbers are
+// unaffected by construction — the verifier never touches the executable
+// after Compile returns.
+func BenchmarkCompileVerify(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		verify bool
+	}{{"off", false}, {"on", true}} {
+		b.Run("lstm/verify="+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mod := models.NewLSTM(models.DefaultLSTMConfig(1)).Module
+				if _, err := compiler.Compile(mod, compiler.Options{Verify: mode.verify}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("bert/verify="+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mod := models.NewBERT(models.BERTReduced()).Module
+				if _, err := compiler.Compile(mod, compiler.Options{Verify: mode.verify}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestAblationsVerifyClean runs check mode over the pipeline's ablation
+// configurations, which exercise different pass subsets (and therefore
+// different ModuleChecks activation points).
+func TestAblationsVerifyClean(t *testing.T) {
+	cases := []struct {
+		name string
+		opts compiler.Options
+	}{
+		{"no-fusion", compiler.Options{Verify: true, DisableFusion: true}},
+		{"no-coalescing", compiler.Options{Verify: true, DisableCoalescing: true}},
+		{"no-memory-planning", compiler.Options{Verify: true, DisableMemoryPlanning: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod := models.NewLSTM(models.DefaultLSTMConfig(1)).Module
+			if _, err := compiler.Compile(mod, tc.opts); err != nil {
+				t.Fatalf("lstm (%s) does not verify cleanly:\n%v", tc.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Package verify is the compiler's machine-checked invariant catalog: a
+// static verifier over IR modules and compiled executables that can run at
+// every pass boundary (check mode) and over untrusted serialized
+// executables before they are adopted for execution.
+//
+// The point of the package is to move miscompile detection from "a wrong
+// tensor three layers later" to "a named invariant and the offending
+// instruction at the pass that broke it". The invariant the differential
+// fuzzer caught dynamically in PR 2 — storage coalescing recycling a buffer
+// whose live range an alias still covered — is mem.kill-consuming /
+// mem.coalesce-overlap here, checked in milliseconds at the coalesce pass
+// boundary instead of after a divergence hunt.
+//
+// Two entry points:
+//
+//   - Module checks an ir.Module between passes. Which invariant families
+//     apply depends on how far the pipeline has run (ANF shape exists only
+//     after the anf pass, the memory dialect only after manifest-alloc);
+//     callers describe that with ModuleChecks.
+//   - Executable checks a vm.Executable — after emission, and before a
+//     deserialized artifact (attacker-controlled input) is executed.
+//
+// Every violation carries an invariant ID from the catalog in
+// docs/verifier.md. Verification never mutates its input.
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one invariant failure: the catalog ID, where it happened,
+// and a human-readable explanation naming the offending binding or
+// instruction.
+type Violation struct {
+	// Invariant is the catalog ID, e.g. "mem.kill-consuming".
+	Invariant string
+	// Func is the IR/VM function the violation is in.
+	Func string
+	// Pos locates the violation inside the function: an IR binding
+	// (let %v) or a bytecode offset (pc 12).
+	Pos string
+	// Message explains what is wrong.
+	Message string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s @ %s: %s", v.Invariant, v.Func, v.Pos, v.Message)
+}
+
+// Error is the typed result of a failed verification run. It wraps every
+// violation found (verification does not stop at the first), plus the
+// pipeline stage that produced the artifact, so a bad pass is named at its
+// own boundary.
+type Error struct {
+	// Stage names the boundary that was checked, e.g. "after
+	// coalesce-storage" or "executable".
+	Stage      string
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: %d invariant violation(s) %s", len(e.Violations), e.Stage)
+	for _, v := range e.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// errOrNil wraps accumulated violations, or reports success as nil.
+func errOrNil(stage string, vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return &Error{Stage: stage, Violations: vs}
+}
+
+// ModuleChecks selects the invariant families that are meaningful at a
+// given pass boundary. Scope, single-definition, and type consistency are
+// always checked.
+type ModuleChecks struct {
+	// ANF enables the A-normal-form shape checks (atomic operands,
+	// let-chain bodies); valid after the anf pass.
+	ANF bool
+	// Memory enables the explicit-allocation dialect checks (kill safety,
+	// coalescing overlap, loop-carried buffers, planned sizes); valid
+	// after manifest-alloc.
+	Memory bool
+}
+
+// AfterPass returns the checks that apply after the named pipeline pass,
+// given the checks that applied before it. The mapping is monotone: every
+// pass may only add structure.
+func (c ModuleChecks) AfterPass(name string) ModuleChecks {
+	switch name {
+	case "anf":
+		c.ANF = true
+	case "manifest-alloc":
+		c.Memory = true
+	}
+	return c
+}

@@ -75,6 +75,10 @@ func (e *Executable) Freeze() { e.frozen = true }
 // Frozen reports whether Freeze has been called.
 func (e *Executable) Frozen() bool { return e.frozen }
 
+// mutCheck guards the construction-phase-only mutators: once an executable
+// is frozen (adopted by a pool or serialized) any mutation is a programming
+// error, caught before it can corrupt a shared artifact
+// (vet:panic-ok — construction-phase misuse guard, never on a request path).
 func (e *Executable) mutCheck(op string) {
 	if e.frozen {
 		panic(fmt.Sprintf("vm: %s on frozen executable (it is shared by a session pool)", op))

@@ -70,7 +70,8 @@ func New(exe *Executable) *VM {
 
 // SetProfiler attaches (or detaches, with nil) a profiler. It must be
 // called before the VM is checked into a session pool: afterwards the
-// session may be executing on another goroutine, so the mutation panics.
+// session may be executing on another goroutine, so the mutation panics
+// (vet:panic-ok — construction-phase misuse guard, never on a request path).
 func (vm *VM) SetProfiler(p *Profiler) {
 	if vm.pooled {
 		panic("vm: SetProfiler on a pooled VM; attach the profiler before NewPool adopts the session")
@@ -80,7 +81,8 @@ func (vm *VM) SetProfiler(p *Profiler) {
 
 // DisablePool turns off runtime storage reuse (for the memory-planning
 // ablation: every AllocStorage then hits the Go allocator). Like
-// SetProfiler it panics once the VM belongs to a session pool.
+// SetProfiler it panics once the VM belongs to a session pool
+// (vet:panic-ok — construction-phase misuse guard, never on a request path).
 func (vm *VM) DisablePool() {
 	if vm.pooled {
 		panic("vm: DisablePool on a pooled VM; configure the session before NewPool adopts it")

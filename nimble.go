@@ -37,6 +37,8 @@
 package nimble
 
 import (
+	"os"
+
 	"nimble/internal/compiler"
 	"nimble/internal/ir"
 	"nimble/internal/passes"
@@ -79,6 +81,19 @@ func WithoutMemoryPlanning() Option {
 	return func(o *compileOptions) { o.c.DisableMemoryPlanning = true }
 }
 
+// WithVerify runs the static invariant verifier after every compilation
+// pass and over the emitted bytecode (check mode): SSA/ANF well-formedness,
+// type consistency against the operator relations, control-flow sanity, and
+// memory-manifest safety (kill/coalescing/live-range rules). A violated
+// invariant fails Compile with a *VerificationError naming the pass
+// boundary, the invariant, and the offending binding or instruction.
+// Verification is off by default; the debug environment variable
+// NIMBLE_VERIFY=1 turns it on globally. See docs/verifier.md for the
+// invariant catalog.
+func WithVerify() Option {
+	return func(o *compileOptions) { o.c.Verify = true }
+}
+
 // CompileStats summarizes what the compiler did, for logging and the
 // benchmark harness.
 type CompileStats struct {
@@ -106,6 +121,9 @@ type CompileStats struct {
 // from the module's compile-time types before lowering.
 func Compile(mod *ir.Module, opts ...Option) (*Program, error) {
 	var o compileOptions
+	if os.Getenv("NIMBLE_VERIFY") == "1" {
+		o.c.Verify = true
+	}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -146,7 +164,7 @@ func Compile(mod *ir.Module, opts ...Option) (*Program, error) {
 	// Once any execution context exists the artifact is sealed for good.
 	res, err := compiler.Compile(mod, o.c)
 	if err != nil {
-		return nil, err
+		return nil, wrapVerify(err)
 	}
 	return &Program{
 		exe:      res.Exe,

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"nimble/internal/verify"
 	"nimble/internal/vm"
 )
 
@@ -51,6 +52,15 @@ func (p *Program) Entry(name string) (EntrySignature, error) {
 // Stats reports what the compiler did.
 func (p *Program) Stats() CompileStats { return p.stats }
 
+// Verify re-checks the program's executable against the static invariant
+// catalog (function-table consistency, register bounds and definedness,
+// control-flow sanity, index validity, storage sizing). Compiled and loaded
+// programs should always pass; a non-nil result is a *VerificationError
+// (errors.Is ErrVerify) and means the artifact is unsafe to execute.
+func (p *Program) Verify() error {
+	return wrapVerify(verify.Executable(p.exe, "program"))
+}
+
 // Disassemble renders the program's bytecode, kernel table, and constant
 // pool metadata.
 func (p *Program) Disassemble() string {
@@ -83,6 +93,11 @@ func Load(r io.Reader, lib *Program) (*Program, error) {
 	exe, err := vm.ReadExecutable(r)
 	if err != nil {
 		return nil, err
+	}
+	// A serialized executable is untrusted input: verify its function table,
+	// register discipline, control flow, and indices before adopting it.
+	if err := verify.Executable(exe, "loaded executable"); err != nil {
+		return nil, wrapVerify(err)
 	}
 	p := &Program{exe: exe, entries: map[string]*EntrySignature{}}
 	if lib != nil {

@@ -80,6 +80,10 @@ func runStream(ctx context.Context, run func(context.Context, func(*tensor.Tenso
 // Next advances to the next emitted value, blocking until the program emits
 // one. It returns false when the run has finished — successfully, with an
 // error, or by cancellation; Err distinguishes which.
+//
+// vet:no-ctx — the wait is bounded by the context the stream was created
+// with (InvokeStream's ctx): cancellation unwinds the producer, which
+// closes the channel.
 func (st *Stream) Next() bool {
 	v, ok := <-st.ch
 	if !ok {
@@ -97,6 +101,8 @@ func (st *Stream) Value() Value { return st.cur }
 // from the same families Invoke returns (ErrCanceled, ErrInternal, ...).
 // Tokens received before a mid-stream error are partial output — the
 // stream's outcome is this error, not the token count.
+//
+// vet:no-ctx — bounded by the stream's creation context, like Next.
 func (st *Stream) Err() error {
 	<-st.done
 	return st.err
@@ -106,6 +112,8 @@ func (st *Stream) Err() error {
 // finishes (draining is the caller's job — Result does not consume pending
 // tokens, so call it after Next returns false, or from a goroutine that is
 // not the consumer only if the consumer keeps draining).
+//
+// vet:no-ctx — bounded by the stream's creation context, like Next.
 func (st *Stream) Result() (Value, error) {
 	<-st.done
 	return st.result, st.err
@@ -117,6 +125,10 @@ func (st *Stream) Result() (Value, error) {
 // decremented). It returns the run's final error — ErrCanceled when Close
 // itself stopped an unfinished run, nil or the run's own error when the
 // stream was already drained. Idempotent; safe after Next returned false.
+//
+// vet:no-ctx — Close cancels the run's own context first, so the drain and
+// the wait for the producer to unwind are both bounded by that
+// cancellation.
 func (st *Stream) Close() error {
 	if !st.closed {
 		st.closed = true
