@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke verify-smoke bench bench-full serve-bench ci
+.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke verify-smoke bench bench-full serve-bench serve-bench-closed serve-bench-quick ci
 
 all: build vet test
 
@@ -87,9 +87,19 @@ bench:
 bench-full:
 	$(GO) run ./cmd/nimble-bench
 
-# Closed-loop serving sweep: 1-64 clients over an 8-session pool, with a
-# machine-readable artifact (CI uploads it).
+# Serving sweeps. serve-bench regenerates the committed BENCH_serve.json:
+# the open-loop (Poisson-arrival) sweep, latency measured from the
+# scheduled arrival, with the pinned-stream A/B baseline for the decoder.
+# serve-bench-closed is the legacy saturating-clients sweep.
 serve-bench:
-	$(GO) run ./cmd/nimble-bench -serve -serve-workers 8 -json BENCH_serve.json
+	$(GO) run ./cmd/nimble-bench -serve -arrival poisson -qps 16,32,48,64,96 \
+		-pin-streams -serve-workers 8 -serve-duration 2s -json BENCH_serve.json
+serve-bench-closed:
+	$(GO) run ./cmd/nimble-bench -serve -serve-workers 8
+# Quick CI variant: short cells, enough to catch harness rot and produce an
+# uploadable artifact without paying for full measurement windows.
+serve-bench-quick:
+	$(GO) run ./cmd/nimble-bench -serve -arrival poisson -qps 16,48 \
+		-pin-streams -serve-workers 4 -serve-duration 300ms -json BENCH_serve.json
 
 ci: all staticcheck race api-check chaos-smoke bench

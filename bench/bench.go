@@ -18,10 +18,15 @@ type (
 	Table4Result  = ibench.Table4Result
 	Figure3Result = ibench.Figure3Result
 	MemPlanResult = ibench.MemPlanResult
-	// ServeConfig / ServeResult drive the serving load generator.
-	ServeConfig = ibench.ServeConfig
-	ServeResult = ibench.ServeResult
-	ServeRow    = ibench.ServeRow
+	// ServeConfig / ServeResult drive the closed-loop serving load
+	// generator; OpenLoopConfig / OpenLoopResult the Poisson-arrival
+	// open-loop one.
+	ServeConfig    = ibench.ServeConfig
+	ServeResult    = ibench.ServeResult
+	ServeRow       = ibench.ServeRow
+	OpenLoopConfig = ibench.OpenLoopConfig
+	OpenLoopResult = ibench.OpenLoopResult
+	OpenLoopRow    = ibench.OpenLoopRow
 	// DecodeResult / CoreResult are the streaming-decode benchmark and the
 	// committed machine-readable perf snapshot.
 	DecodeResult = ibench.DecodeResult
@@ -58,6 +63,11 @@ func Core(c Config) (*CoreResult, error) { return ibench.Core(c) }
 
 // Serve runs the closed-loop concurrent-serving load generator.
 func Serve(c ServeConfig) (*ServeResult, error) { return ibench.Serve(c) }
+
+// OpenLoop runs the open-loop (Poisson-arrival) serving benchmark: fixed
+// offered QPS per cell, latency measured from the scheduled arrival so
+// queueing delay is counted (the honest latency-under-load instrument).
+func OpenLoop(c OpenLoopConfig) (*OpenLoopResult, error) { return ibench.OpenLoop(c) }
 
 // DefaultServeDuration is the measured window per serve cell when
 // ServeConfig.Duration is zero.

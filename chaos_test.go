@@ -192,6 +192,182 @@ func runChaos(t *testing.T, seed uint64, iters int) {
 		seed, ok.Load(), internal.Load(), overloaded.Load(), canceled.Load(), st.Pool.Quarantined, injected)
 }
 
+// TestChaosSchedulerStreams drives the fault injector through the
+// continuous-batching scheduler: concurrent decode streams share sessions
+// at iteration granularity, so an injected panic in one stream's step
+// poisons a VM that other streams are mid-generation on. The invariants
+// extend the invoke-path chaos run to interleaved decode:
+//
+//   - every stream resolves to a typed error or to the full reference
+//     sequence for its own start token;
+//   - tokens delivered before a mid-stream fault are a strict prefix of
+//     that stream's reference — a foreign token means the scheduler leaked
+//     state between co-resident streams;
+//   - the pool conserves its size, and the service decodes correctly after
+//     the storm.
+func TestChaosSchedulerStreams(t *testing.T) {
+	seeds := []uint64{3, 17}
+	iters := 8
+	if os.Getenv("NIMBLE_CHAOS_LONG") != "" {
+		seeds = []uint64{3, 5, 17, 23, 99}
+		iters = 40
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runStreamChaos(t, seed, iters)
+		})
+	}
+}
+
+func runStreamChaos(t *testing.T, seed uint64, iters int) {
+	const clients = 8
+	// A shrunk decoder: a full-size decode dispatches thousands of kernels,
+	// so even a 0.4% panic rate kills virtually every stream. Eight steps of
+	// a one-layer model keeps the per-stream dispatch count low enough that
+	// both outcomes — clean finishes and mid-flight poisonings — occur.
+	dcfg := models.DecoderConfig{Vocab: 64, Dim: 16, Layers: 1, Heads: 2, FFN: 32, MaxNew: 8, Seed: 42, Temp: 0.8}
+
+	// Per-client reference sequences from a clean program: greedy decode is
+	// deterministic, so any delivered token either matches the reference at
+	// its position or proves contamination.
+	clean, err := Compile(models.NewDecoder(dcfg).Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int64, clients)
+	ref := clean.NewSession()
+	for i := range want {
+		out, err := ref.Invoke(context.Background(), "generate", TensorValue(models.StartToken(int64(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, _ := out.Tensor()
+		want[i] = append([]int64(nil), wt.I64()...)
+	}
+	ref.Close()
+
+	faulty, err := Compile(models.NewDecoder(dcfg).Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A panic does not just kill its own stream: it poisons the session, so
+	// up to Window-1 batch-mates die with it. Rate and window are tuned
+	// together so both clean finishes and poisonings occur every run.
+	inj := faults.NewInjector(faults.Config{
+		Seed:          seed,
+		PanicPer1024:  1,
+		SlowPer1024:   8,
+		CancelPer1024: 96,
+	})
+	if err := inj.WrapExecutable(faulty.exe); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	svc, err := faulty.Serve(
+		WithWorkers(workers),
+		WithSchedulerWindow(2), // bound the poison blast radius
+		WithRequestTimeout(5*time.Second),
+		WithBreaker(1000, 10*time.Millisecond), // keep the gate out of the way; poison is the subject
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var ok, failed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start := TensorValue(models.StartToken(int64(g + 1)))
+			for i := 0; i < iters; i++ {
+				ctx := context.Background()
+				cancelFn := context.CancelFunc(func() {})
+				if after, doCancel := inj.CancelRequest(2 * time.Millisecond); doCancel {
+					ctx, cancelFn = context.WithTimeout(ctx, after)
+				}
+				st, err := svc.InvokeStream(ctx, "generate", start)
+				if err != nil {
+					cancelFn()
+					if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrCanceled) {
+						t.Errorf("client %d: untyped open error: %v", g, err)
+						return
+					}
+					failed.Add(1)
+					continue
+				}
+				var got []int64
+				for st.Next() {
+					tt, _ := st.Value().Tensor()
+					got = append(got, tt.I64()...)
+				}
+				err = st.Close()
+				cancelFn()
+				if len(got) > len(want[g]) {
+					t.Errorf("client %d iter %d: %d tokens delivered, reference has %d", g, i, len(got), len(want[g]))
+					return
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want[g][:len(got)]) {
+					t.Errorf("client %d iter %d: delivered tokens are not a prefix of this stream's reference — cross-stream contamination\n  got %v\n  ref %v", g, i, got, want[g][:len(got)])
+					return
+				}
+				switch {
+				case err == nil:
+					if len(got) != len(want[g]) {
+						t.Errorf("client %d iter %d: clean finish with %d of %d tokens", g, i, len(got), len(want[g]))
+						return
+					}
+					ok.Add(1)
+				case errors.Is(err, ErrInternal), errors.Is(err, ErrOverloaded), errors.Is(err, ErrCanceled):
+					failed.Add(1)
+				default:
+					t.Errorf("client %d: untyped stream error escaped: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Pool.Workers != workers {
+		t.Errorf("pool size drifted: %d, want %d", st.Pool.Workers, workers)
+	}
+	if st.Pool.InFlight != 0 {
+		t.Errorf("leaked session checkouts: InFlight = %d", st.Pool.InFlight)
+	}
+	if ok.Load() == 0 {
+		t.Error("no stream ever completed — fault rates drowned the signal")
+	}
+
+	// After the storm: still decodes every reference exactly, through the
+	// same scheduler path. Retry across tail-end faults.
+	for g := 0; g < clients; g++ {
+		var lastErr error
+		for attempt := 0; attempt < 50; attempt++ {
+			out, err := svc.Invoke(context.Background(), "generate", TensorValue(models.StartToken(int64(g+1))))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			gt, _ := out.Tensor()
+			if fmt.Sprint(gt.I64()) != fmt.Sprint(want[g]) {
+				t.Fatalf("post-chaos decode for start %d wrong", g+1)
+			}
+			lastErr = nil
+			break
+		}
+		if lastErr != nil {
+			t.Fatalf("service unusable after stream chaos (start %d): %v", g+1, lastErr)
+		}
+	}
+	t.Logf("seed %d: ok=%d failed=%d quarantined=%d injected=%+v",
+		seed, ok.Load(), failed.Load(), st.Pool.Quarantined, inj.Stats())
+}
+
 // TestChaosBreakerDegradesHealth: a sustained panic storm trips the
 // breaker, Health flips to degraded, and after the cooldown with faults
 // off the service recovers to healthy.

@@ -17,6 +17,9 @@
 //	              {"adt":{"ctor":"Cons"|"tag":1,"fields":[value...]}}.
 //	              {"seq":[tensor,...]} is accepted for entries whose sole
 //	              parameter is a cons-list ADT (e.g. the LSTM).
+//	              Optional scheduling hints: "priority" selects the lane
+//	              (0 = most urgent, see -lanes), "deadline_budget_ms" sheds
+//	              the request up front when the backlog makes it unmeetable.
 //	POST /stream  same body; responds with Server-Sent Events, one flushed
 //	              "token" event per value the entry emits through
 //	              stream.emit (the decoder's per-token output), then a
@@ -27,7 +30,8 @@
 //	              ADT constructors, row-separability)
 //	GET  /healthz -> {"ok":true,...}; 503 + "ok":false while any entry's
 //	              circuit breaker is open (degraded)
-//	GET  /stats   -> pool + batcher + admission-gate counters
+//	GET  /stats   -> pool + batcher + admission-gate + scheduler counters
+//	GET  /metrics -> the same counters in Prometheus text exposition format
 //
 // Errors map onto status codes by family (docs/operations.md):
 //
@@ -292,6 +296,14 @@ type invokeRequest struct {
 	// Seq is list-entry sugar: step tensors packed into the entry's
 	// cons-list parameter server-side.
 	Seq []tensorJSON `json:"seq"`
+	// Priority selects the request's scheduling lane (0 = most urgent,
+	// the default; values past -lanes-1 clamp). Maps to nimble.WithPriority.
+	Priority *int `json:"priority,omitempty"`
+	// DeadlineBudgetMS gives the request this many milliseconds from
+	// arrival to finish, tightening any client-side deadline; the admission
+	// gate and scheduler shed it up front when the backlog already makes
+	// the budget unmeetable. Maps to nimble.WithDeadlineBudget.
+	DeadlineBudgetMS float64 `json:"deadline_budget_ms,omitempty"`
 }
 
 type invokeResponse struct {
@@ -319,6 +331,9 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "per-entry admission queue bound (0 = 4×workers, negative = unbounded)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive internal faults opening an entry's circuit breaker (0 = default 8, negative = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker sheds before probing (0 = default 1s)")
+	lanes := flag.Int("lanes", 1, "priority lanes requests may select with the \"priority\" body field (lane 0 served first)")
+	schedWindow := flag.Int("sched-window", 0, "streams one session interleaves under the continuous-batching scheduler (0 = default 8)")
+	pinStreams := flag.Bool("pin-streams", false, "disable the scheduler: each stream pins a pooled session for its whole run")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size cap in bytes")
 	flag.Parse()
 
@@ -326,16 +341,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc, err := m.Program.NewService(nimble.ServiceConfig{
-		Workers:          *workers,
-		DisableBatching:  !*batch,
-		MaxBatch:         *maxBatch,
-		MaxDelay:         *maxDelay,
-		MaxQueue:         *maxQueue,
-		RequestTimeout:   *reqTimeout,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-	})
+	opts := []nimble.ServiceOption{
+		nimble.WithWorkers(*workers),
+		nimble.WithBatchWindow(*maxBatch, *maxDelay),
+		nimble.WithMaxQueue(*maxQueue),
+		nimble.WithRequestTimeout(*reqTimeout),
+		nimble.WithBreaker(*breakerThreshold, *breakerCooldown),
+		nimble.WithPriorityLanes(*lanes),
+		nimble.WithSchedulerWindow(*schedWindow),
+	}
+	if !*batch {
+		opts = append(opts, nimble.WithoutBatching())
+	}
+	if *pinStreams {
+		opts = append(opts, nimble.WithPinnedStreams())
+	}
+	svc, err := m.Program.Serve(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -355,6 +376,7 @@ func main() {
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	// Graceful shutdown: stop accepting, give in-flight requests the drain
@@ -390,18 +412,19 @@ func main() {
 
 // decodeInvoke reads and validates an invoke/stream request body against
 // the entry's signature, writing the error response itself on failure
-// (ok == false means the response is already sent).
-func (s *server) decodeInvoke(w http.ResponseWriter, r *http.Request) (entry string, args []nimble.Value, ok bool) {
+// (ok == false means the response is already sent). The returned options
+// carry the body's scheduling hints (priority lane, deadline budget).
+func (s *server) decodeInvoke(w http.ResponseWriter, r *http.Request) (entry string, args []nimble.Value, opts []nimble.InvokeOption, ok bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req invokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooBig.Limit))
-			return "", nil, false
+			return "", nil, nil, false
 		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return "", nil, false
+		return "", nil, nil, false
 	}
 	if req.Entry == "" {
 		req.Entry = "main"
@@ -409,36 +432,50 @@ func (s *server) decodeInvoke(w http.ResponseWriter, r *http.Request) (entry str
 	sig, err := s.svc.Program().Entry(req.Entry)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
-		return "", nil, false
+		return "", nil, nil, false
+	}
+	if req.Priority != nil {
+		if *req.Priority < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("priority %d is negative; 0 is the most urgent lane", *req.Priority))
+			return "", nil, nil, false
+		}
+		opts = append(opts, nimble.WithPriority(*req.Priority))
+	}
+	if req.DeadlineBudgetMS != 0 {
+		if req.DeadlineBudgetMS < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("deadline_budget_ms %v is negative", req.DeadlineBudgetMS))
+			return "", nil, nil, false
+		}
+		opts = append(opts, nimble.WithDeadlineBudget(time.Duration(req.DeadlineBudgetMS*float64(time.Millisecond))))
 	}
 	switch {
 	case req.Seq != nil:
 		if len(sig.Params) != 1 {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args; \"seq\" needs a single list parameter", sig.Name, len(sig.Params)))
-			return "", nil, false
+			return "", nil, nil, false
 		}
 		v, err := seqToList(req.Seq, sig.Params[0])
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
-			return "", nil, false
+			return "", nil, nil, false
 		}
 		args = []nimble.Value{v}
 	default:
 		if len(req.Args) != len(sig.Params) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args, got %d", sig.Name, len(sig.Params), len(req.Args)))
-			return "", nil, false
+			return "", nil, nil, false
 		}
 		args = make([]nimble.Value, len(req.Args))
 		for i, a := range req.Args {
 			v, err := toValue(a, sig.Params[i])
 			if err != nil {
 				httpError(w, http.StatusBadRequest, fmt.Errorf("arg %d: %w", i, err))
-				return "", nil, false
+				return "", nil, nil, false
 			}
 			args[i] = v
 		}
 	}
-	return req.Entry, args, true
+	return req.Entry, args, opts, true
 }
 
 // writeInvokeError maps err onto its status code (with the Retry-After
@@ -468,16 +505,16 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("handler panic: %v", rec))
 		}
 	}()
-	entry, args, ok := s.decodeInvoke(w, r)
+	entry, args, opts, ok := s.decodeInvoke(w, r)
 	if !ok {
 		return
 	}
 
-	// The Service applies -request-timeout itself (RequestTimeout) when the
-	// caller's context carries no deadline; r.Context() still propagates
+	// The Service applies -request-timeout itself (WithRequestTimeout) when
+	// the caller's context carries no deadline; r.Context() still propagates
 	// client disconnects.
 	start := time.Now()
-	out, err := s.svc.Invoke(r.Context(), entry, args...)
+	out, err := s.svc.InvokeOpts(r.Context(), entry, args, opts...)
 	if err != nil {
 		writeInvokeError(w, err)
 		return
@@ -522,13 +559,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotImplemented, fmt.Errorf("streaming needs a flushable connection"))
 		return
 	}
-	entry, args, ok := s.decodeInvoke(w, r)
+	entry, args, opts, ok := s.decodeInvoke(w, r)
 	if !ok {
 		return
 	}
-	// Synchronous open: validation, gate admission, and session checkout
+	// Synchronous open: validation, gate admission, and queue submission
 	// all resolve here, while a plain status response is still possible.
-	st, err := s.svc.InvokeStream(r.Context(), entry, args...)
+	st, err := s.svc.InvokeStreamOpts(r.Context(), entry, args, opts...)
 	if err != nil {
 		writeInvokeError(w, err)
 		return

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -34,7 +35,7 @@ func testServer(t testing.TB) *server {
 			testSrvErr = err
 			return
 		}
-		svc, err := p.NewService(nimble.ServiceConfig{Workers: 2})
+		svc, err := p.Serve(nimble.WithWorkers(2), nimble.WithPriorityLanes(2))
 		if err != nil {
 			testSrvErr = err
 			return
@@ -83,7 +84,7 @@ func testDecoderServer(t testing.TB) *server {
 			testDecErr = err
 			return
 		}
-		svc, err := p.NewService(nimble.ServiceConfig{Workers: 2, DisableBatching: true})
+		svc, err := p.Serve(nimble.WithWorkers(2), nimble.WithoutBatching(), nimble.WithPriorityLanes(2))
 		if err != nil {
 			testDecErr = err
 			return
@@ -340,6 +341,10 @@ func FuzzInvokeHandler(f *testing.F) {
 	f.Add([]byte(`{"args":[{"tuple":[]}]}`))
 	f.Add([]byte(`{"seq":[{"dtype":"float32","shape":[8],"data":[1,2,3,4,5,6,7,8]}]}`))
 	f.Add([]byte(`{"args":[{"dtype":"float32","shape":[9223372036854775807,2],"data":[]}]}`))
+	f.Add([]byte(`{"entry":"main","priority":1,"deadline_budget_ms":50,"args":[{"dtype":"float32","shape":[2,8],"data":[0]}]}`))
+	f.Add([]byte(`{"entry":"main","priority":-3,"args":[]}`))
+	f.Add([]byte(`{"entry":"main","deadline_budget_ms":-0.5,"args":[]}`))
+	f.Add([]byte(`{"entry":"main","priority":9999999,"deadline_budget_ms":1e300,"args":[]}`))
 	f.Add([]byte(strings.Repeat(`{"args":[`, 100)))
 	f.Add([]byte("\x00\xff\xfe junk"))
 
@@ -373,6 +378,9 @@ func FuzzSSEHandler(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"entry":"generate","args":[{"adt":{"tag":0}}]}`))
 	f.Add([]byte(`{"entry":"generate","seq":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"entry":"generate","priority":1,"deadline_budget_ms":30000,"args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"entry":"generate","priority":-1,"args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"entry":"generate","deadline_budget_ms":0.001,"args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
 	f.Add([]byte("\x00\xff\xfe junk"))
 
 	s := testDecoderServer(f)
@@ -404,4 +412,97 @@ func FuzzSSEHandler(f *testing.F) {
 			t.Fatalf("non-JSON open failure for body %q: %s", body, w.Body.String())
 		}
 	})
+}
+
+// TestInvokeSchedulingFields: the "priority" and "deadline_budget_ms" body
+// fields map onto InvokeOptions — valid values are accepted, negatives are
+// a 400 before any work is admitted.
+func TestInvokeSchedulingFields(t *testing.T) {
+	s := testServer(t)
+	withHints := func(prio any, budget any) []byte {
+		m := map[string]any{}
+		_ = json.Unmarshal(validBody(1), &m)
+		if prio != nil {
+			m["priority"] = prio
+		}
+		if budget != nil {
+			m["deadline_budget_ms"] = budget
+		}
+		b, _ := json.Marshal(m)
+		return b
+	}
+	if w := postInvoke(t, s, withHints(1, 5000)); w.Code != http.StatusOK {
+		t.Errorf("priority+budget invoke status = %d: %s", w.Code, w.Body.String())
+	}
+	if w := postInvoke(t, s, withHints(99, nil)); w.Code != http.StatusOK {
+		t.Errorf("out-of-range priority must clamp, not fail: %d: %s", w.Code, w.Body.String())
+	}
+	if w := postInvoke(t, s, withHints(-1, nil)); w.Code != http.StatusBadRequest {
+		t.Errorf("negative priority status = %d, want 400", w.Code)
+	}
+	if w := postInvoke(t, s, withHints(nil, -5)); w.Code != http.StatusBadRequest {
+		t.Errorf("negative budget status = %d, want 400", w.Code)
+	}
+}
+
+// TestStreamSchedulingFields: the same hints ride an SSE request and the
+// stream still completes.
+func TestStreamSchedulingFields(t *testing.T) {
+	s := testDecoderServer(t)
+	body := []byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[5]}],"priority":1,"deadline_budget_ms":30000}`)
+	w := postStream(t, s, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stream status = %d: %s", w.Code, w.Body.String())
+	}
+	ev := sseEvents(t, w.Body.String())
+	if len(ev) == 0 || ev[len(ev)-1][0] != "done" {
+		t.Fatalf("stream with scheduling hints did not finish with done: %v", ev)
+	}
+}
+
+// TestMetricsEndpoint: /metrics speaks the Prometheus text format and
+// carries the scheduler series after a stream has run.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testDecoderServer(t)
+	// Drive one stream so scheduler counters exist.
+	if w := postStream(t, s, []byte(`{"entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[3]}]}`)); w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d", w.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.handleMetrics(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE nimble_pool_invocations_total counter",
+		"nimble_pool_workers 2",
+		`nimble_gate_admitted_total{entry="generate"}`,
+		`nimble_sched_submitted_total{entry="generate"}`,
+		`nimble_sched_peak_occupancy{entry="generate"}`,
+		`nimble_sched_step_p99_seconds{entry="generate"}`,
+		`nimble_entry_healthy{entry="generate"} 1`,
+		"nimble_up 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every non-comment line is "name{labels} value" with a parseable value.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("metrics line %q: value: %v", line, err)
+		}
+	}
 }

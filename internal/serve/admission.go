@@ -78,6 +78,10 @@ type Gate struct {
 	shedDeadline  int64
 	shedBreaker   int64
 	breakerTrips  int64
+
+	// lat distributes completed-request service times (cancellations
+	// excluded, like the EWMA) for the P50/P99 stats.
+	lat histogram
 }
 
 // NewGate builds a gate over the config.
@@ -201,6 +205,7 @@ func (g *Gate) release(d time.Duration, err error, probe bool) {
 		return
 	}
 	if d > 0 {
+		g.lat.observe(d)
 		if g.ewma == 0 {
 			g.ewma = d
 		} else {
@@ -242,7 +247,11 @@ type GateStats struct {
 	ExpectedWaitUS float64 `json:"expected_wait_us"`
 	// ServiceEWMAUS is the smoothed observed service time.
 	ServiceEWMAUS float64 `json:"service_ewma_us"`
-	ShedQueue     int64   `json:"shed_queue"`
+	// P50US/P99US are service-time quantiles from a log₂-bucketed
+	// histogram (so ~±41% bucket resolution, zero until the first sample).
+	P50US     float64 `json:"p50_us"`
+	P99US     float64 `json:"p99_us"`
+	ShedQueue int64   `json:"shed_queue"`
 	ShedDeadline  int64   `json:"shed_deadline"`
 	ShedBreaker   int64   `json:"shed_breaker"`
 	BreakerOpen   bool    `json:"breaker_open"`
@@ -263,6 +272,8 @@ func (g *Gate) Stats() GateStats {
 		Queued:         queued,
 		ExpectedWaitUS: float64(g.expectedWaitLocked().Microseconds()),
 		ServiceEWMAUS:  float64(g.ewma.Microseconds()),
+		P50US:          float64(g.lat.quantile(0.50).Microseconds()),
+		P99US:          float64(g.lat.quantile(0.99).Microseconds()),
 		ShedQueue:      g.shedQueue,
 		ShedDeadline:   g.shedDeadline,
 		ShedBreaker:    g.shedBreaker,

@@ -83,6 +83,43 @@ func (s *Session) InvokeStream(ctx context.Context, sink func(*tensor.Tensor) er
 	return out, WrapCtxErr(err)
 }
 
+// BeginStream prepares a step-resumable streaming run on this session: the
+// vm.StreamRun executes one compiled-loop iteration per StepStream call
+// instead of pinning the session for the whole decode. Many StreamRuns may
+// be parked on one session at once — that is the point — but their Begin
+// and Step calls must all happen on the goroutine that holds the session.
+// Panics poison the session exactly as in Invoke.
+func (s *Session) BeginStream(sink func(*tensor.Tensor) error, name string, args ...vm.Object) (r *vm.StreamRun, err error) {
+	s.invocations.Add(1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.poisoned = true
+			r, err = nil, Internal(name, rec, debug.Stack())
+		}
+	}()
+	return s.machine.BeginStream(sink, name, args...)
+}
+
+// StepStream advances a run begun with BeginStream by one compiled-loop
+// iteration (or to completion for loop-free entries). A panic poisons the
+// session and surfaces as *InternalError; the caller must then treat every
+// other run parked on this session as lost too, since they share the
+// poisoned VM's storage pool.
+func (s *Session) StepStream(ctx context.Context, name string, r *vm.StreamRun) (done bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.poisoned = true
+			done, err = true, Internal(name, rec, debug.Stack())
+		}
+	}()
+	done, err = r.Step(ctx)
+	return done, WrapCtxErr(err)
+}
+
+// Poisoned reports whether this session's VM panicked mid-execution. Valid
+// on the goroutine holding the session.
+func (s *Session) Poisoned() bool { return s.poisoned }
+
 // InvokeTensors is the tensors-in, tensor-out convenience form.
 func (s *Session) InvokeTensors(ctx context.Context, name string, args ...*tensor.Tensor) (out *tensor.Tensor, err error) {
 	s.invocations.Add(1)
@@ -107,6 +144,9 @@ func (s *Session) ID() int { return s.id }
 type waiter struct {
 	ch chan *Session
 	id uint64
+	// lane orders the wait queue: lower lanes are handed sessions first,
+	// FIFO (by id) within a lane. Plain Acquire parks in lane 0.
+	lane int
 }
 
 // Pool shares one immutable executable across nWorkers VM sessions with
@@ -174,6 +214,14 @@ func (p *Pool) Size() int { return len(p.all) }
 // pre-canceled context never joins the wait queue at all. A closed pool
 // returns ErrClosed.
 func (p *Pool) Acquire(ctx context.Context) (*Session, error) {
+	return p.AcquireLane(ctx, 0)
+}
+
+// AcquireLane is Acquire with a priority lane: when the pool is contended,
+// parked lane-0 acquires are handed sessions before lane-1, and so on;
+// arrival order breaks ties within a lane. An uncontended checkout ignores
+// the lane entirely.
+func (p *Pool) AcquireLane(ctx context.Context, lane int) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, Canceled(err)
 	}
@@ -189,12 +237,12 @@ func (p *Pool) Acquire(ctx context.Context) (*Session, error) {
 		p.mu.Unlock()
 		return s, nil
 	}
-	// No session free: park. Release hands a session straight to the oldest
-	// live waiter; cancellation removes the waiter from the live set so the
-	// handoff skips it.
-	w := &waiter{ch: make(chan *Session, 1), id: p.nextWait}
+	// No session free: park. Release hands a session straight to the best
+	// (lowest-lane, then oldest) live waiter; cancellation removes the
+	// waiter from the live set so the handoff skips it.
+	w := &waiter{ch: make(chan *Session, 1), id: p.nextWait, lane: lane}
 	p.nextWait++
-	p.waiters = append(p.waiters, w)
+	p.insertWaiterLocked(w)
 	p.waiterID[w.id] = w
 	p.waits++
 	start := time.Now()
@@ -287,7 +335,21 @@ func (p *Pool) Release(s *Session) {
 	p.mu.Unlock()
 }
 
-// popWaiterLocked dequeues the oldest waiter that has not canceled, or nil.
+// insertWaiterLocked places w by (lane, arrival). Linear scan from the
+// back: arrivals are overwhelmingly same-or-higher lane than the tail, so
+// the common case is a plain append; queues are MaxQueue-scale anyway.
+func (p *Pool) insertWaiterLocked(w *waiter) {
+	i := len(p.waiters)
+	for i > 0 && p.waiters[i-1].lane > w.lane {
+		i--
+	}
+	p.waiters = append(p.waiters, nil)
+	copy(p.waiters[i+1:], p.waiters[i:])
+	p.waiters[i] = w
+}
+
+// popWaiterLocked dequeues the best live waiter (lowest lane, oldest
+// arrival — the queue is kept in that order), or nil.
 func (p *Pool) popWaiterLocked() *waiter {
 	for len(p.waiters) > 0 {
 		w := p.waiters[0]
@@ -305,7 +367,12 @@ func (p *Pool) popWaiterLocked() *waiter {
 // callers; calls beyond the pool size queue on the checkout, and the queue
 // wait is abandoned when ctx is canceled.
 func (p *Pool) Invoke(ctx context.Context, name string, args ...vm.Object) (vm.Object, error) {
-	s, err := p.Acquire(ctx)
+	return p.InvokeLane(ctx, 0, name, args...)
+}
+
+// InvokeLane is Invoke through a priority lane (see AcquireLane).
+func (p *Pool) InvokeLane(ctx context.Context, lane int, name string, args ...vm.Object) (vm.Object, error) {
+	s, err := p.AcquireLane(ctx, lane)
 	if err != nil {
 		return nil, err
 	}

@@ -248,7 +248,25 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 	// Pre-resolve the kernel table once per entry; execPacked then skips the
 	// per-call exe.Kernel lookup.
 	vm.kernels = vm.exe.kernels
-	stack := []*frame{f}
+	_, _, ret, err := vm.exec(ctx, []*frame{f}, false)
+	return ret, err
+}
+
+// exec is the dispatch loop over an explicit frame stack. With stepMode
+// false it runs to completion, exactly as run always has. With stepMode
+// true it additionally returns yielded=true at every compiled-loop back
+// edge — after the edge's recycle and pc advance, so the parked stack's
+// parameter registers already hold the next iteration's arguments and the
+// loop-carried state (the decode KV-cache) sits in planner-owned buffers
+// tracked by the frames' alloc lists. Re-entering exec with the returned
+// stack runs exactly one more iteration; StreamRun packages this into a
+// step-resumable handle so one session can interleave many streams at
+// iteration granularity.
+//
+// The returned stack is the live remainder: empty after normal completion,
+// the parked frames on yield, and whatever was active at the fault on
+// error (the caller owns releasing it — see StreamRun.Abort).
+func (vm *VM) exec(ctx context.Context, stack []*frame, stepMode bool) (_ []*frame, yielded bool, _ Object, _ error) {
 	code := vm.exe.Code
 	prof := vm.prof
 	// done is nil for context.Background(), making every cancellation check
@@ -258,7 +276,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 	for {
 		fr := stack[len(stack)-1]
 		if fr.pc < 0 || fr.pc >= len(code) {
-			return nil, fmt.Errorf("vm: pc %d out of range in %s", fr.pc, vm.exe.Funcs[fr.fn].Name)
+			return stack, false, nil, fmt.Errorf("vm: pc %d out of range in %s", fr.pc, vm.exe.Funcs[fr.fn].Name)
 		}
 		in := code[fr.pc]
 		if prof != nil {
@@ -288,7 +306,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 				if prof != nil && prof.Timing {
 					prof.OtherTime += time.Since(tStart)
 				}
-				return ret, nil
+				return stack, false, ret, nil
 			}
 			caller := stack[len(stack)-1]
 			caller.regs[retDst] = ret
@@ -296,12 +314,12 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 
 		case OpInvoke:
 			if len(stack) >= vm.maxDepth {
-				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
+				return stack, false, nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
 			}
 			if done != nil {
 				select {
 				case <-done:
-					return nil, ctx.Err()
+					return stack, false, nil, ctx.Err()
 				default:
 				}
 			}
@@ -315,7 +333,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 			nf, err := vm.newFrame(int(in.Imm), callArgs)
 			clearObjects(callArgs) // drop scratch references so staged args don't outlive their frame
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			nf.dst = in.Dst
 			fr.pc++
@@ -323,18 +341,18 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 
 		case OpInvokeClosure:
 			if len(stack) >= vm.maxDepth {
-				return nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
+				return stack, false, nil, fmt.Errorf("vm: call stack overflow (%d frames)", len(stack))
 			}
 			if done != nil {
 				select {
 				case <-done:
-					return nil, ctx.Err()
+					return stack, false, nil, ctx.Err()
 				default:
 				}
 			}
 			clo, ok := fr.regs[in.A].(*Closure)
 			if !ok {
-				return nil, fmt.Errorf("vm: InvokeClosure on %T", fr.regs[in.A])
+				return stack, false, nil, fmt.Errorf("vm: InvokeClosure on %T", fr.regs[in.A])
 			}
 			callArgs := vm.objScratch[:0]
 			callArgs = append(callArgs, clo.Free...)
@@ -345,7 +363,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 			nf, err := vm.newFrame(clo.Fn, callArgs)
 			clearObjects(callArgs)
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			nf.dst = in.Dst
 			fr.pc++
@@ -353,24 +371,24 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 
 		case OpInvokePacked:
 			if err := vm.execPacked(fr, in); err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			fr.pc++
 
 		case OpAllocStorage:
 			if err := vm.execAllocStorage(fr, in); err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			fr.pc++
 
 		case OpAllocTensor:
 			st, err := asStorage(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			t, err := st.tensorAt(tensor.DType(in.DType), tensor.Shape(in.Shape), int(in.Imm))
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			fr.regs[in.Dst] = &TensorObj{T: t, Device: st.Device, Backing: st}
 			fr.pc++
@@ -378,19 +396,19 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpAllocTensorReg:
 			st, err := asStorage(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			shObj, err := asTensor(fr.regs[in.B])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			shape, err := shObj.T.ToShape()
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			t, err := st.tensorAt(tensor.DType(in.DType), shape, 0)
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			fr.regs[in.Dst] = &TensorObj{T: t, Device: st.Device, Backing: st}
 			fr.pc++
@@ -414,10 +432,10 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpGetField:
 			adt, err := asADT(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			if int(in.Imm) < 0 || int(in.Imm) >= len(adt.Fields) {
-				return nil, fmt.Errorf("vm: GetField index %d out of range (%d fields)", in.Imm, len(adt.Fields))
+				return stack, false, nil, fmt.Errorf("vm: GetField index %d out of range (%d fields)", in.Imm, len(adt.Fields))
 			}
 			fr.regs[in.Dst] = adt.Fields[in.Imm]
 			fr.pc++
@@ -425,7 +443,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpGetTag:
 			adt, err := asADT(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			fr.regs[in.Dst] = NewTensorObj(tensor.ScalarI64(int64(adt.Tag)))
 			fr.pc++
@@ -433,7 +451,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpIf:
 			eq, err := scalarEqual(fr.regs[in.A], fr.regs[in.B])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			if eq {
 				fr.pc += in.Off1
@@ -447,7 +465,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 				if done != nil {
 					select {
 					case <-done:
-						return nil, ctx.Err()
+						return stack, false, nil, ctx.Err()
 					default:
 					}
 				}
@@ -457,13 +475,19 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 					// registers, so everything this frame allocated that they
 					// do not reach is this iteration's garbage.
 					vm.recycleLoopFrame(fr)
+					if stepMode {
+						// Park exactly here: one iteration ran, its garbage is
+						// recycled, and the pc already points at the loop head.
+						fr.pc += in.Off1
+						return stack, true, nil, nil
+					}
 				}
 			}
 			fr.pc += in.Off1
 
 		case OpLoadConst:
 			if int(in.Imm) < 0 || int(in.Imm) >= len(vm.exe.Consts) {
-				return nil, fmt.Errorf("vm: constant index %d out of range", in.Imm)
+				return stack, false, nil, fmt.Errorf("vm: constant index %d out of range", in.Imm)
 			}
 			// Constants are shared by reference; kernels never mutate their
 			// inputs, which is the copy-on-write discipline of §5.2.
@@ -477,7 +501,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpDeviceCopy:
 			src, err := asTensor(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			dst := ir.Device{Type: ir.DeviceType(in.Device), ID: in.DeviceID}
 			// On the host substrate a cross-device copy is a clone into the
@@ -492,7 +516,7 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpShapeOf:
 			t, err := asTensor(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			// shape_of reads metadata only, so it works "regardless of which
 			// device [the tensor] is placed on" (§4.4) and its result lives
@@ -503,28 +527,28 @@ func (vm *VM) run(ctx context.Context, fnIdx int, args []Object) (Object, error)
 		case OpReshapeTensor:
 			t, err := asTensor(fr.regs[in.A])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			shObj, err := asTensor(fr.regs[in.B])
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			shape, err := shObj.T.ToShape()
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			rt, err := t.T.Reshape(shape...)
 			if err != nil {
-				return nil, err
+				return stack, false, nil, err
 			}
 			fr.regs[in.Dst] = &TensorObj{T: rt, Device: t.Device}
 			fr.pc++
 
 		case OpFatal:
-			return nil, fmt.Errorf("vm: Fatal raised in %s at pc %d", vm.exe.Funcs[fr.fn].Name, fr.pc)
+			return stack, false, nil, fmt.Errorf("vm: Fatal raised in %s at pc %d", vm.exe.Funcs[fr.fn].Name, fr.pc)
 
 		default:
-			return nil, fmt.Errorf("vm: unknown opcode %d", in.Op)
+			return stack, false, nil, fmt.Errorf("vm: unknown opcode %d", in.Op)
 		}
 
 		if prof != nil && prof.Timing && in.Op != OpInvokePacked {

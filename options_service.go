@@ -1,0 +1,104 @@
+package nimble
+
+import "time"
+
+// ServiceOption configures Program.Serve. The zero configuration (no
+// options) is a sensible production default: GOMAXPROCS sessions,
+// iteration-level stream scheduling with an 8-stream window, micro-batching
+// for row-separable entries, bounded per-entry admission queues with
+// deadline-aware shedding, and a consecutive-failure circuit breaker.
+type ServiceOption func(*serviceConfig)
+
+// serviceConfig is the resolved option set. ServiceConfig (deprecated)
+// lowers onto the same struct, so both construction paths share one
+// builder.
+type serviceConfig struct {
+	workers          int
+	disableBatching  bool
+	maxBatch         int
+	maxDelay         time.Duration
+	maxQueue         int
+	requestTimeout   time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	lanes            int
+	schedWindow      int
+	pinStreams       bool
+}
+
+// WithWorkers sets the session-pool size (default GOMAXPROCS).
+func WithWorkers(n int) ServiceOption { return func(c *serviceConfig) { c.workers = n } }
+
+// WithMaxQueue bounds each entry's admitted-but-waiting requests; arrivals
+// beyond it are shed with ErrOverloaded instead of queuing unboundedly
+// (default 4×workers). Negative disables the bound.
+func WithMaxQueue(n int) ServiceOption { return func(c *serviceConfig) { c.maxQueue = n } }
+
+// WithRequestTimeout applies a per-request deadline inside Invoke and
+// InvokeStream when the caller's context has none (default none). For a
+// stream it bounds the whole run, first token to last.
+func WithRequestTimeout(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.requestTimeout = d }
+}
+
+// WithBreaker tunes each entry's circuit breaker: threshold consecutive
+// internal faults open it, cooldown is how long it sheds before probing
+// again (defaults 8, 1s). A negative threshold disables the breaker.
+func WithBreaker(threshold int, cooldown time.Duration) ServiceOption {
+	return func(c *serviceConfig) {
+		c.breakerThreshold = threshold
+		c.breakerCooldown = cooldown
+	}
+}
+
+// WithPriorityLanes sets how many priority lanes requests may select with
+// WithPriority (default 1 — every request equal). Lane 0 is served first;
+// requests asking for a lane past the last one are clamped into it.
+func WithPriorityLanes(n int) ServiceOption { return func(c *serviceConfig) { c.lanes = n } }
+
+// WithSchedulerWindow caps how many decode streams one session interleaves
+// under the continuous-batching scheduler — the iteration-level batch size
+// (default 8).
+func WithSchedulerWindow(n int) ServiceOption { return func(c *serviceConfig) { c.schedWindow = n } }
+
+// WithoutBatching turns micro-batching off; every request dispatches
+// individually over the pool.
+func WithoutBatching() ServiceOption { return func(c *serviceConfig) { c.disableBatching = true } }
+
+// WithBatchWindow tunes the micro-batcher: maxBatch bounds how many
+// requests one dispatch coalesces (default 16), maxDelay how long the
+// first request waits for company (default 200µs).
+func WithBatchWindow(maxBatch int, maxDelay time.Duration) ServiceOption {
+	return func(c *serviceConfig) {
+		c.maxBatch = maxBatch
+		c.maxDelay = maxDelay
+	}
+}
+
+// WithPinnedStreams restores the pre-scheduler behavior: each stream
+// checks out a pooled session and holds it for its whole run. Exists for
+// A/B measurement of the continuous-batching scheduler and as an escape
+// hatch; expect worse tail latency under concurrent streams.
+func WithPinnedStreams() ServiceOption { return func(c *serviceConfig) { c.pinStreams = true } }
+
+// InvokeOption attaches per-request scheduling hints to Service.InvokeOpts
+// and InvokeStreamOpts.
+type InvokeOption func(*invokeConfig)
+
+type invokeConfig struct {
+	lane   int
+	budget time.Duration
+}
+
+// WithPriority assigns the request to priority lane p (0 = most urgent,
+// the default; higher lanes yield to lower ones under contention). Lanes
+// past the service's WithPriorityLanes count clamp to the last lane.
+func WithPriority(p int) InvokeOption { return func(c *invokeConfig) { c.lane = p } }
+
+// WithDeadlineBudget gives the request d from its arrival to finish,
+// tightening (never loosening) any deadline the context already carries.
+// The admission gate and scheduler shed the request up front when the
+// current backlog already makes the budget unmeetable.
+func WithDeadlineBudget(d time.Duration) InvokeOption {
+	return func(c *invokeConfig) { c.budget = d }
+}

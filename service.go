@@ -12,11 +12,14 @@ import (
 	"nimble/internal/vm"
 )
 
-// ServiceConfig parameterizes Program.NewService. The zero value is a
-// sensible production default: GOMAXPROCS sessions, micro-batching enabled
-// for every entry the compiler proved row-separable, bounded per-entry
-// admission queues with deadline-aware shedding, and a consecutive-failure
-// circuit breaker per entry.
+// ServiceConfig parameterizes the deprecated NewService constructor. New
+// code should use Program.Serve with ServiceOption values; each field here
+// corresponds to one option (Workers → WithWorkers, and so on). The zero
+// value remains a sensible production default.
+//
+// Deprecated: use Program.Serve with functional options. ServiceConfig
+// predates the scheduler knobs (WithPriorityLanes, WithSchedulerWindow)
+// and will not grow them; it remains for one release as a shim.
 type ServiceConfig struct {
 	// Workers is the session-pool size (default GOMAXPROCS).
 	Workers int
@@ -56,11 +59,18 @@ type BatcherStats = serve.BatchStats
 // GateStats re-exports the per-entry admission-control counters.
 type GateStats = serve.GateStats
 
-// ServiceStats snapshots a service's pool, batcher, and admission counters.
+// SchedulerStats re-exports the per-entry continuous-batching scheduler
+// counters: queue depth, batch occupancy, step latency EWMA and p50/p99,
+// and shed counts.
+type SchedulerStats = serve.SchedStats
+
+// ServiceStats snapshots a service's pool, batcher, admission, and
+// scheduler counters.
 type ServiceStats struct {
-	Pool     PoolStats      `json:"pool"`
-	Batchers []BatcherStats `json:"batchers,omitempty"`
-	Gates    []GateStats    `json:"gates,omitempty"`
+	Pool       PoolStats        `json:"pool"`
+	Batchers   []BatcherStats   `json:"batchers,omitempty"`
+	Gates      []GateStats      `json:"gates,omitempty"`
+	Schedulers []SchedulerStats `json:"schedulers,omitempty"`
 }
 
 // EntryHealth reports one entry's fault state.
@@ -83,27 +93,74 @@ type Health struct {
 // fronted by an admission gate — a bounded queue with deadline-aware load
 // shedding and a consecutive-failure circuit breaker — so overload
 // produces fast typed ErrOverloaded rejections instead of unbounded
-// queueing. A VM or kernel panic is isolated to its request: the caller
-// gets ErrInternal and the poisoned session is quarantined (replaced by a
-// fresh VM), never reused. All methods are safe for concurrent use.
+// queueing.
+//
+// Streams run under an iteration-level continuous-batching scheduler: a
+// decode stream no longer pins a session for its whole generate loop;
+// instead each loop iteration is a schedulable step, and one session
+// interleaves steps from up to WithSchedulerWindow streams, admitting new
+// arrivals mid-flight and retiring finished ones without draining the
+// rest. WithPriority selects the request's lane; deadlines both order the
+// run queue and shed hopeless arrivals early.
+//
+// A VM or kernel panic is isolated to its request: the caller gets
+// ErrInternal and the poisoned session is quarantined (replaced by a fresh
+// VM), never reused. All methods are safe for concurrent use.
 type Service struct {
-	p        *Program
-	pool     *serve.Pool
-	batchers map[string]*serve.Batcher
-	gates    map[string]*serve.Gate
-	timeout  time.Duration
-	closed   atomic.Bool
-	inflight atomic.Int64
+	p          *Program
+	pool       *serve.Pool
+	batchers   map[string]*serve.Batcher
+	gates      map[string]*serve.Gate
+	schedulers map[string]*serve.Scheduler
+	lanes      int
+	timeout    time.Duration
+	closed     atomic.Bool
+	inflight   atomic.Int64
+}
+
+// Serve builds a concurrent serving runtime over the program. With no
+// options the defaults serve well: GOMAXPROCS sessions, the
+// continuous-batching stream scheduler with an 8-stream window, bounded
+// admission queues, micro-batching for row-separable entries, and per-entry
+// circuit breakers. See ServiceOption for the knobs.
+func (p *Program) Serve(opts ...ServiceOption) (*Service, error) {
+	var cfg serviceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return p.buildService(cfg)
 }
 
 // NewService builds a concurrent serving runtime over the program.
+//
+// Deprecated: use Program.Serve with functional options; NewService
+// remains as a shim for one release. The scheduler-era knobs
+// (WithPriorityLanes, WithSchedulerWindow, WithPinnedStreams) exist only
+// as options.
 func (p *Program) NewService(cfg ServiceConfig) (*Service, error) {
+	return p.buildService(serviceConfig{
+		workers:          cfg.Workers,
+		disableBatching:  cfg.DisableBatching,
+		maxBatch:         cfg.MaxBatch,
+		maxDelay:         cfg.MaxDelay,
+		maxQueue:         cfg.MaxQueue,
+		requestTimeout:   cfg.RequestTimeout,
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cfg.BreakerCooldown,
+	})
+}
+
+func (p *Program) buildService(cfg serviceConfig) (*Service, error) {
 	if p.unlinked {
 		return nil, fmt.Errorf("nimble: program was loaded without a kernel library; pass the compiled Program to Load")
 	}
-	workers := cfg.Workers
+	workers := cfg.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	lanes := cfg.lanes
+	if lanes <= 0 {
+		lanes = 1
 	}
 	pool, err := serve.NewPool(p.exe, workers)
 	if err != nil {
@@ -114,26 +171,37 @@ func (p *Program) NewService(cfg ServiceConfig) (*Service, error) {
 		pool:     pool,
 		batchers: map[string]*serve.Batcher{},
 		gates:    map[string]*serve.Gate{},
-		timeout:  cfg.RequestTimeout,
+		lanes:    lanes,
+		timeout:  cfg.requestTimeout,
 	}
 	for _, name := range p.names {
 		s.gates[name] = serve.NewGate(serve.GateConfig{
 			Entry:            name,
 			Workers:          workers,
-			MaxQueue:         cfg.MaxQueue,
-			BreakerThreshold: cfg.BreakerThreshold,
-			BreakerCooldown:  cfg.BreakerCooldown,
+			MaxQueue:         cfg.maxQueue,
+			BreakerThreshold: cfg.breakerThreshold,
+			BreakerCooldown:  cfg.breakerCooldown,
 		})
 	}
-	if !cfg.DisableBatching {
-		maxBatch := cfg.MaxBatch
+	if !cfg.pinStreams {
+		s.schedulers = map[string]*serve.Scheduler{}
+		for _, name := range p.names {
+			s.schedulers[name] = serve.NewScheduler(pool, serve.SchedConfig{
+				Entry:  name,
+				Window: cfg.schedWindow,
+				Lanes:  lanes,
+			})
+		}
+	}
+	if !cfg.disableBatching {
+		maxBatch := cfg.maxBatch
 		if maxBatch <= 0 {
 			maxBatch = 16
 		}
 		for _, name := range p.names {
 			if p.entries[name].RowSeparable {
 				s.batchers[name] = serve.NewBatcher(pool, serve.BatchConfig{
-					Entry: name, MaxBatch: maxBatch, MaxDelay: cfg.MaxDelay,
+					Entry: name, MaxBatch: maxBatch, MaxDelay: cfg.maxDelay,
 				})
 			}
 		}
@@ -147,6 +215,33 @@ func (s *Service) Program() *Program { return s.p }
 // Workers returns the session-pool size.
 func (s *Service) Workers() int { return s.pool.Size() }
 
+// resolveInvokeOpts folds the per-request options: the lane is clamped to
+// the service's configured lane count, and a deadline budget tightens the
+// context (the returned cancel is a no-op when nothing changed).
+func (s *Service) resolveInvokeOpts(ctx context.Context, opts []InvokeOption) (context.Context, context.CancelFunc, int) {
+	var ic invokeConfig
+	for _, o := range opts {
+		o(&ic)
+	}
+	lane := ic.lane
+	if lane < 0 {
+		lane = 0
+	}
+	if lane >= s.lanes {
+		lane = s.lanes - 1
+	}
+	cancel := context.CancelFunc(func() {})
+	if ic.budget > 0 {
+		// WithTimeout never loosens: an earlier parent deadline still wins.
+		ctx, cancel = context.WithTimeout(ctx, ic.budget)
+	} else if s.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		}
+	}
+	return ctx, cancel, lane
+}
+
 // Invoke runs the named entry function, routing through the micro-batcher
 // when the entry is row-separable and the call is the single-tensor form,
 // and through the session pool otherwise. Before dispatch the request
@@ -157,19 +252,21 @@ func (s *Service) Workers() int { return s.pool.Size() }
 // ErrCanceled and ctx.Err(). A panic during execution surfaces as
 // ErrInternal and quarantines the session it poisoned.
 func (s *Service) Invoke(ctx context.Context, entry string, args ...Value) (Value, error) {
+	return s.InvokeOpts(ctx, entry, args)
+}
+
+// InvokeOpts is Invoke with per-request options: WithPriority selects the
+// pool lane the request waits in under contention, WithDeadlineBudget
+// tightens its deadline from arrival.
+func (s *Service) InvokeOpts(ctx context.Context, entry string, args []Value, opts ...InvokeOption) (Value, error) {
 	if s.closed.Load() {
 		return Value{}, fmt.Errorf("nimble: service: %w", ErrClosed)
 	}
 	if _, err := s.p.validate(entry, args); err != nil {
 		return Value{}, err
 	}
-	if s.timeout > 0 {
-		if _, has := ctx.Deadline(); !has {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.timeout)
-			defer cancel()
-		}
-	}
+	ctx, cancel, lane := s.resolveInvokeOpts(ctx, opts)
+	defer cancel()
 	release, err := s.gates[entry].Admit(ctx)
 	if err != nil {
 		return Value{}, err
@@ -180,7 +277,7 @@ func (s *Service) Invoke(ctx context.Context, entry string, args ...Value) (Valu
 	// hangs.
 	s.inflight.Add(1)
 	start := time.Now()
-	out, err := s.dispatch(ctx, entry, args)
+	out, err := s.dispatch(ctx, entry, lane, args)
 	release(time.Since(start), err)
 	s.inflight.Add(-1)
 	return out, err
@@ -190,17 +287,27 @@ func (s *Service) Invoke(ctx context.Context, entry string, args ...Value) (Valu
 // the values the program emits through stream.emit while it runs. The open
 // is synchronous and carries Invoke's full admission semantics: validation
 // (ErrBadInput), the entry's gate (ErrOverloaded with a Retry-After hint),
-// and the session checkout all happen before InvokeStream returns, so a
-// server can map an open failure to a proper HTTP status before it commits
-// to a streaming response. Streams bypass the micro-batcher — per-token
-// emission is inherently per-request.
+// and the scheduler's deadline projection all happen before InvokeStream
+// returns, so a server can map an open failure to a proper HTTP status
+// before it commits to a streaming response. Streams bypass the
+// micro-batcher — per-token emission is inherently per-request — and run
+// under the continuous-batching scheduler instead: the stream owns no
+// session; its decode loop is stepped one iteration at a time, interleaved
+// with other streams on whichever session adopts it.
 //
-// The checked-out session, the admission slot, and the in-flight count are
-// held for the stream's whole life and released when the run finishes or
-// the stream is closed; Shutdown therefore drains open streams exactly
-// like in-flight Invokes. RequestTimeout, when configured, bounds the
-// entire stream, first token to last.
+// The admission slot and the in-flight count are held for the stream's
+// whole life and released when the run finishes or the stream is closed;
+// Shutdown therefore drains open streams exactly like in-flight Invokes.
+// RequestTimeout, when configured, bounds the entire stream, first token
+// to last.
 func (s *Service) InvokeStream(ctx context.Context, entry string, args ...Value) (*Stream, error) {
+	return s.InvokeStreamOpts(ctx, entry, args)
+}
+
+// InvokeStreamOpts is InvokeStream with per-request options: WithPriority
+// selects the scheduler lane, WithDeadlineBudget tightens the deadline the
+// scheduler orders and sheds by.
+func (s *Service) InvokeStreamOpts(ctx context.Context, entry string, args []Value, opts ...InvokeOption) (*Stream, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("nimble: service: %w", ErrClosed)
 	}
@@ -215,12 +322,7 @@ func (s *Service) InvokeStream(ctx context.Context, entry string, args ...Value)
 		}
 		objs[i] = o
 	}
-	cancelT := func() {}
-	if s.timeout > 0 {
-		if _, has := ctx.Deadline(); !has {
-			ctx, cancelT = context.WithTimeout(ctx, s.timeout)
-		}
-	}
+	ctx, cancelT, lane := s.resolveInvokeOpts(ctx, opts)
 	release, err := s.gates[entry].Admit(ctx)
 	if err != nil {
 		cancelT()
@@ -239,7 +341,20 @@ func (s *Service) InvokeStream(ctx context.Context, entry string, args ...Value)
 	if s.closed.Load() {
 		return fail(fmt.Errorf("nimble: service: %w", ErrClosed))
 	}
-	sess, err := s.pool.Acquire(ctx)
+	cleanup := func(err error) {
+		release(time.Since(start), err)
+		s.inflight.Add(-1)
+		cancelT()
+	}
+	if sched, ok := s.schedulers[entry]; ok {
+		st := runStream(ctx, func(runCtx context.Context, sink func(*tensor.Tensor) error) (vm.Object, error) {
+			return sched.Stream(runCtx, lane, sink, entry, objs...)
+		}, cleanup)
+		return st, nil
+	}
+	// Pinned mode (WithPinnedStreams): the stream checks out a session and
+	// holds it for its whole run.
+	sess, err := s.pool.AcquireLane(ctx, lane)
 	if err != nil {
 		return fail(err)
 	}
@@ -248,15 +363,13 @@ func (s *Service) InvokeStream(ctx context.Context, entry string, args ...Value)
 	}, func(err error) {
 		s.pool.Release(sess)
 		s.pool.Note(err)
-		release(time.Since(start), err)
-		s.inflight.Add(-1)
-		cancelT()
+		cleanup(err)
 	})
 	return st, nil
 }
 
 // dispatch routes one admitted request to the batcher or the pool.
-func (s *Service) dispatch(ctx context.Context, entry string, args []Value) (Value, error) {
+func (s *Service) dispatch(ctx context.Context, entry string, lane int, args []Value) (Value, error) {
 	if s.closed.Load() {
 		return Value{}, fmt.Errorf("nimble: service: %w", ErrClosed)
 	}
@@ -277,7 +390,7 @@ func (s *Service) dispatch(ctx context.Context, entry string, args []Value) (Val
 		}
 		objs[i] = o
 	}
-	out, err := s.pool.Invoke(ctx, entry, objs...)
+	out, err := s.pool.InvokeLane(ctx, lane, entry, objs...)
 	if err != nil {
 		return Value{}, canceled(err)
 	}
@@ -292,6 +405,9 @@ func (s *Service) Stats() ServiceStats {
 			st.Batchers = append(st.Batchers, b.Stats())
 		}
 		st.Gates = append(st.Gates, s.gates[name].Stats())
+		if sc, ok := s.schedulers[name]; ok {
+			st.Schedulers = append(st.Schedulers, sc.Stats())
+		}
 	}
 	return st
 }
@@ -315,10 +431,11 @@ func (s *Service) Health() Health {
 // Shutdown closes the service gracefully: new Invokes fail immediately
 // with ErrClosed, the batchers drain every request they already accepted,
 // and in-flight invocations get until ctx is done to finish. When the
-// context fires first the pool closes out from under the stragglers —
-// requests still queued on the pool checkout fail with ErrClosed instead
-// of hanging — and Shutdown reports how many were cut loose. A nil error
-// means every admitted request drained.
+// context fires first the schedulers and pool close out from under the
+// stragglers — streams still queued fail with ErrClosed, active decode
+// loops are retired at their next iteration boundary — and Shutdown
+// reports how many were cut loose. A nil error means every admitted
+// request drained.
 func (s *Service) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return nil
@@ -354,6 +471,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		}
 	}
 	stragglers := s.inflight.Load()
+	for _, sc := range s.schedulers {
+		sc.Close()
+	}
 	s.pool.Close()
 	if cut && stragglers > 0 {
 		return fmt.Errorf("nimble: service: drain window expired with %d requests in flight: %w", stragglers, ErrClosed)

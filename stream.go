@@ -53,6 +53,15 @@ func runStream(ctx context.Context, run func(context.Context, func(*tensor.Tenso
 	st := &Stream{cancel: cancel, ch: make(chan Value), done: make(chan struct{})}
 	go func() {
 		out, err := run(runCtx, func(t *tensor.Tensor) error {
+			// Cancellation must win deterministically: Close's drain loop
+			// keeps receiving from ch, so after cancel the select below is a
+			// coin flip between the send and the done channel — a stream
+			// closed before its first Next could keep "winning" the send and
+			// generate its entire sequence into the drain. Checking the
+			// context first bounds a canceled run to at most one more emit.
+			if err := runCtx.Err(); err != nil {
+				return err
+			}
 			select {
 			case st.ch <- TensorValue(t):
 				return nil

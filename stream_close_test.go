@@ -1,0 +1,75 @@
+package nimble
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"nimble/internal/tensor"
+	"nimble/internal/vm"
+)
+
+// TestStreamCloseBeforeFirstRead is the regression test for the
+// close-before-read race: Close cancels the run's context and then drains
+// the token channel, so from the producer's point of view a send and the
+// cancellation are BOTH always ready. Without the context check before
+// each emit, the select's coin flip let a closed-but-never-read stream keep
+// winning the send and generate its entire sequence into the drain. The
+// producer here parks until Close has committed to canceling, then tries
+// 256 emits: the sink must refuse every one of them.
+func TestStreamCloseBeforeFirstRead(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		var emitted atomic.Int64
+		produced := make(chan struct{})
+		st := runStream(context.Background(), func(runCtx context.Context, sink func(*tensor.Tensor) error) (vm.Object, error) {
+			close(produced)
+			<-runCtx.Done() // park until Close's cancel lands
+			for j := 0; j < 256; j++ {
+				if err := sink(tensor.FromI64([]int64{int64(j)}, 1)); err != nil {
+					return nil, err
+				}
+				emitted.Add(1)
+			}
+			return nil, nil
+		}, nil)
+		<-produced
+		if err := st.Close(); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("iter %d: Close = %v, want ErrCanceled", i, err)
+		}
+		if n := emitted.Load(); n != 0 {
+			t.Fatalf("iter %d: %d emits won the race against a closed stream; cancellation must be deterministic", i, n)
+		}
+	}
+}
+
+// TestStreamCloseBoundsRunningProducer: a producer that is actively
+// generating (not parked) when Close arrives may legitimately complete the
+// emit already in flight, but no more than that one.
+func TestStreamCloseBoundsRunningProducer(t *testing.T) {
+	var emitted atomic.Int64
+	first := make(chan struct{})
+	st := runStream(context.Background(), func(runCtx context.Context, sink func(*tensor.Tensor) error) (vm.Object, error) {
+		for j := 0; j < 1024; j++ {
+			if err := sink(tensor.FromI64([]int64{int64(j)}, 1)); err != nil {
+				return nil, err
+			}
+			if emitted.Add(1) == 1 {
+				close(first)
+			}
+		}
+		return nil, nil
+	}, nil)
+	if !st.Next() {
+		t.Fatal("no first token")
+	}
+	<-first
+	if err := st.Close(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Close = %v, want ErrCanceled", err)
+	}
+	// One emit may have been committed concurrently with Close; the context
+	// check bounds the overshoot to exactly that.
+	if n := emitted.Load(); n > 2 {
+		t.Fatalf("producer emitted %d tokens after Close; cancellation did not bound the run", n)
+	}
+}
