@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke verify-smoke bench bench-full serve-bench serve-bench-closed serve-bench-quick ci
+.PHONY: all build vet test race api-check staticcheck chaos chaos-smoke registry-smoke fuzz-smoke invoke-fuzz-smoke sse-fuzz-smoke verify-smoke bench bench-full serve-bench serve-bench-closed serve-bench-quick ci
 
 all: build vet test
 
@@ -40,6 +40,13 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaos|TestShutdown' -count=1 .
 chaos:
 	NIMBLE_CHAOS_LONG=1 $(GO) test -race -run 'TestChaos|TestShutdown' -count=1 -timeout 20m -v .
+
+# Multi-model registry battery under -race: swap-under-load (64 clients
+# across invoke + streaming while weights hot-swap), canary determinism,
+# shutdown/deploy races, and the registry chaos storm. Every response must
+# be byte-identical to exactly one version's reference output.
+registry-smoke:
+	$(GO) test -race -run 'TestRegistry|TestCanary|TestChaosRegistrySwap' -count=1 -timeout 10m .
 
 # 30-second differential fuzz: compiled VM vs eager reference on random
 # IR programs. Counterexamples land in internal/conformance/testdata.
@@ -102,4 +109,4 @@ serve-bench-quick:
 	$(GO) run ./cmd/nimble-bench -serve -arrival poisson -qps 16,48 \
 		-pin-streams -serve-workers 4 -serve-duration 300ms -json BENCH_serve.json
 
-ci: all staticcheck race api-check chaos-smoke bench
+ci: all staticcheck race api-check chaos-smoke registry-smoke bench

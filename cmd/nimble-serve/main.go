@@ -1,18 +1,26 @@
-// Command nimble-serve exposes a compiled model over HTTP through the
-// public nimble API: one frozen Program, a Service (session pool +
-// automatic micro-batching for row-separable entries), and handlers built
-// entirely on Program.Entrypoints() — no per-model adapters. Any entry of
-// any model is invocable; argument decoding is driven by the entry's
-// introspected signature.
+// Command nimble-serve exposes compiled models over HTTP through the
+// public nimble API: a multi-model Registry of versioned Programs (each
+// serving through a session pool with automatic micro-batching for
+// row-separable entries) and handlers built entirely on
+// Program.Entrypoints() — no per-model adapters. Any entry of any model is
+// invocable; argument decoding is driven by the entry's introspected
+// signature.
 //
-//	nimble-serve -model mlp -workers 8
+//	nimble-serve -model mlp,bert,decoder -workers 8
 //	curl -s localhost:8080/models
-//	curl -s -X POST localhost:8080/invoke -d '{"args":[{"dtype":"float32","shape":[1,64],"data":[...]}]}'
+//	curl -s -X POST localhost:8080/invoke -d '{"model":"mlp","args":[{"dtype":"float32","shape":[1,64],"data":[...]}]}'
+//	curl -s -X POST localhost:8080/admin/deploy -d '{"model":"mlp","canary":10}'
 //	curl -s localhost:8080/stats
+//
+// Every model is addressable as "name" (the routed serving mix), as
+// "name@latest" (the newest live version), or pinned as "name@vN". A
+// request's "model" field defaults to the first -model entry, so the
+// single-model invocation shape is unchanged from earlier versions.
 //
 // Endpoints:
 //
-//	POST /invoke  {"entry":"main","args":[value...]} -> {"output":value,"latency_us":...}
+//	POST /invoke  {"model":"bert","entry":"main","args":[value...]}
+//	              -> {"output":value,"latency_us":...}
 //	              A value is a tensor {"dtype","shape","data"} or an ADT
 //	              {"adt":{"ctor":"Cons"|"tag":1,"fields":[value...]}}.
 //	              {"seq":[tensor,...]} is accepted for entries whose sole
@@ -20,32 +28,46 @@
 //	              Optional scheduling hints: "priority" selects the lane
 //	              (0 = most urgent, see -lanes), "deadline_budget_ms" sheds
 //	              the request up front when the backlog makes it unmeetable.
+//	              "route_key" pins the request's canary-split decision, so
+//	              one user's session never flaps between weight versions.
 //	POST /stream  same body; responds with Server-Sent Events, one flushed
 //	              "token" event per value the entry emits through
 //	              stream.emit (the decoder's per-token output), then a
 //	              terminal "done" (with the final result) or "error" event.
 //	              Open failures are plain status responses exactly like
 //	              /invoke; mid-stream failures arrive as the "error" event.
-//	GET  /models  -> model name + every entry signature (types, Any dims,
+//	POST /admin/deploy   {"model":"mlp","exe":"path","canary":10} builds (or
+//	              loads with "exe") a fresh build of the named model and
+//	              hot-swaps it in with zero downtime — or starts a canary
+//	              rollout at the given percentage. Returns the new version.
+//	POST /admin/promote  {"model":"mlp"} makes the canary stable; the old
+//	              stable drains. 409 when no rollout is in progress.
+//	POST /admin/rollback {"model":"mlp"} drops the canary; stable untouched.
+//	GET  /models  -> every model: live versions (stable/canary, traffic
+//	              percent, in-flight) + entry signatures (types, Any dims,
 //	              ADT constructors, row-separability)
-//	GET  /healthz -> {"ok":true,...}; 503 + "ok":false while any entry's
-//	              circuit breaker is open (degraded)
-//	GET  /stats   -> pool + batcher + admission-gate + scheduler counters
-//	GET  /metrics -> the same counters in Prometheus text exposition format
+//	GET  /healthz -> {"ok":true,...}; 503 + "ok":false while any version of
+//	              any model has an open circuit breaker (degraded)
+//	GET  /stats   -> per model-version pool + batcher + admission-gate +
+//	              scheduler counters, plus the shared storage tier
+//	GET  /metrics -> the same counters in Prometheus text exposition format,
+//	              labeled {model, version, entry}
 //
 // Errors map onto status codes by family (docs/operations.md):
 //
-//	400 malformed body / ErrBadInput / ErrBadArity
-//	404 ErrUnknownEntry        413 body over -max-body
+//	400 malformed body / malformed model reference / ErrBadInput / ErrBadArity
+//	404 ErrUnknownEntry / ErrUnknownModel (unknown name or pinned version)
+//	409 ErrNoCanary (promote/rollback with no rollout in progress)
+//	413 body over -max-body
 //	429 ErrOverloaded (queue full, deadline unmeetable, breaker open) with
 //	    a Retry-After header from the admission controller's estimate
 //	500 ErrInternal (isolated VM/kernel panic; session quarantined)
 //	503 ErrClosed (shutting down)   504 ErrCanceled (deadline/cancel)
 //
 // SIGINT/SIGTERM shut the server down gracefully: listeners stop, then the
-// Service drains — in-flight AND already-admitted queued requests get
-// -shutdown-timeout to complete; stragglers are rejected with 503, never
-// left hanging.
+// Registry drains every live version — in-flight AND already-admitted
+// queued requests get -shutdown-timeout to complete; stragglers are
+// rejected with 503, never left hanging.
 package main
 
 import (
@@ -60,6 +82,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -291,6 +314,9 @@ func seqToList(seq []tensorJSON, p nimble.TypeInfo) (nimble.Value, error) {
 }
 
 type invokeRequest struct {
+	// Model addresses the serving target: "name", "name@latest", or a
+	// pinned "name@vN". Empty means the server's default (first -model).
+	Model string      `json:"model,omitempty"`
 	Entry string      `json:"entry"`
 	Args  []valueJSON `json:"args"`
 	// Seq is list-entry sugar: step tensors packed into the entry's
@@ -304,6 +330,10 @@ type invokeRequest struct {
 	// gate and scheduler shed it up front when the backlog already makes
 	// the budget unmeetable. Maps to nimble.WithDeadlineBudget.
 	DeadlineBudgetMS float64 `json:"deadline_budget_ms,omitempty"`
+	// RouteKey pins the request's canary-split decision: within one canary
+	// epoch every request carrying the same key routes to the same weight
+	// version. Maps to nimble.WithRouteKey.
+	RouteKey string `json:"route_key,omitempty"`
 }
 
 type invokeResponse struct {
@@ -312,15 +342,17 @@ type invokeResponse struct {
 }
 
 type server struct {
-	model   string
-	svc     *nimble.Service
-	maxBody int64
-	start   time.Time
+	reg *nimble.Registry
+	// defaultModel is the first -model entry: what an unaddressed request
+	// (no "model" field) routes to.
+	defaultModel string
+	maxBody      int64
+	start        time.Time
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	model := cli.ModelFlag("mlp")
+	model := flag.String("model", "mlp", "comma-separated models to serve (each: "+cli.Names()+"); the first is the default target")
 	exe := cli.ExeFlag("")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "session pool size")
 	batch := flag.Bool("batch", true, "micro-batch row-separable entries")
@@ -337,9 +369,12 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "request body size cap in bytes")
 	flag.Parse()
 
-	m, err := cli.BuildOrLoad(*model, *exe)
-	if err != nil {
-		log.Fatal(err)
+	names := strings.Split(*model, ",")
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+	}
+	if len(names) > 1 && *exe != "" {
+		log.Fatal("-exe applies to a single -model; deploy additional builds via /admin/deploy")
 	}
 	opts := []nimble.ServiceOption{
 		nimble.WithWorkers(*workers),
@@ -356,23 +391,36 @@ func main() {
 	if *pinStreams {
 		opts = append(opts, nimble.WithPinnedStreams())
 	}
-	svc, err := m.Program.Serve(opts...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := &server{model: *model, svc: svc, maxBody: *maxBody, start: time.Now()}
-	log.Printf("serving %s", m.Describe)
-	for _, sig := range m.Program.Entrypoints() {
-		mode := "pool"
-		if sig.RowSeparable && *batch {
-			mode = "micro-batched"
+	reg := nimble.NewRegistry(
+		nimble.WithServeDefaults(opts...),
+		nimble.WithDrainTimeout(*shutdownTimeout),
+	)
+	for _, name := range names {
+		m, err := cli.BuildOrLoad(name, *exe)
+		if err != nil {
+			log.Fatal(err)
 		}
-		log.Printf("  entry %s  [%s]", sig, mode)
+		ver, err := reg.Deploy(name, m.Program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s@%s: %s", name, ver, m.Describe)
+		for _, sig := range m.Program.Entrypoints() {
+			mode := "pool"
+			if sig.RowSeparable && *batch {
+				mode = "micro-batched"
+			}
+			log.Printf("  entry %s  [%s]", sig, mode)
+		}
 	}
+	s := &server{reg: reg, defaultModel: names[0], maxBody: *maxBody, start: time.Now()}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", s.handleInvoke)
 	mux.HandleFunc("POST /stream", s.handleStream)
+	mux.HandleFunc("POST /admin/deploy", s.handleDeploy)
+	mux.HandleFunc("POST /admin/promote", s.handlePromote)
+	mux.HandleFunc("POST /admin/rollback", s.handleRollback)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -385,7 +433,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("nimble-serve: model=%s workers=%d listening on %s", *model, svc.Workers(), *addr)
+		log.Printf("nimble-serve: models=%s workers=%d listening on %s", strings.Join(names, ","), *workers, *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
@@ -397,85 +445,109 @@ func main() {
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	// One drain window covers both layers: the HTTP server stops accepting
-	// and waits for handlers, then the Service drains its own admitted
-	// backlog (batcher queues + pool waiters), rejecting stragglers with
-	// ErrClosed when the window expires instead of hanging.
+	// and waits for handlers, then the Registry drains every live version
+	// (batcher queues + pool waiters + open streams), rejecting stragglers
+	// with ErrClosed when the window expires instead of hanging.
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("nimble-serve: http shutdown: %v", err)
 	}
-	if err := svc.Shutdown(shCtx); err != nil {
-		log.Printf("nimble-serve: service drain: %v", err)
+	var invocations, errCount, quarantined int64
+	models := reg.Models()
+	if err := reg.Shutdown(shCtx); err != nil {
+		log.Printf("nimble-serve: registry drain: %v", err)
 	}
-	st := svc.Stats().Pool
-	log.Printf("nimble-serve: drained; served %d invocations (%d errors, %d quarantined)", st.Invocations, st.Errors, st.Quarantined)
+	for _, ms := range models {
+		for _, vs := range ms.Versions {
+			invocations += vs.Stats.Pool.Invocations
+			errCount += vs.Stats.Pool.Errors
+			quarantined += vs.Stats.Pool.Quarantined
+		}
+	}
+	log.Printf("nimble-serve: drained; served %d invocations (%d errors, %d quarantined)", invocations, errCount, quarantined)
 }
 
 // decodeInvoke reads and validates an invoke/stream request body against
-// the entry's signature, writing the error response itself on failure
-// (ok == false means the response is already sent). The returned options
-// carry the body's scheduling hints (priority lane, deadline budget).
-func (s *server) decodeInvoke(w http.ResponseWriter, r *http.Request) (entry string, args []nimble.Value, opts []nimble.InvokeOption, ok bool) {
+// the addressed model's entry signature, writing the error response itself
+// on failure (ok == false means the response is already sent). The
+// returned options carry the body's scheduling hints (priority lane,
+// deadline budget, canary route key); model is the reference to route the
+// invocation with.
+func (s *server) decodeInvoke(w http.ResponseWriter, r *http.Request) (model, entry string, args []nimble.Value, opts []nimble.InvokeOption, ok bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req invokeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooBig.Limit))
-			return "", nil, nil, false
+			return "", "", nil, nil, false
 		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return "", nil, nil, false
+		return "", "", nil, nil, false
+	}
+	if req.Model == "" {
+		req.Model = s.defaultModel
 	}
 	if req.Entry == "" {
 		req.Entry = "main"
 	}
-	sig, err := s.svc.Program().Entry(req.Entry)
+	// Resolve the reference now for signature-driven decoding: a malformed
+	// reference is a 400, an unknown model or pinned version a 404 —
+	// decided before any work is admitted.
+	prog, err := s.reg.Program(req.Model)
+	if err != nil {
+		httpError(w, invokeStatus(err), err)
+		return "", "", nil, nil, false
+	}
+	sig, err := prog.Entry(req.Entry)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
-		return "", nil, nil, false
+		return "", "", nil, nil, false
 	}
 	if req.Priority != nil {
 		if *req.Priority < 0 {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("priority %d is negative; 0 is the most urgent lane", *req.Priority))
-			return "", nil, nil, false
+			return "", "", nil, nil, false
 		}
 		opts = append(opts, nimble.WithPriority(*req.Priority))
 	}
 	if req.DeadlineBudgetMS != 0 {
 		if req.DeadlineBudgetMS < 0 {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("deadline_budget_ms %v is negative", req.DeadlineBudgetMS))
-			return "", nil, nil, false
+			return "", "", nil, nil, false
 		}
 		opts = append(opts, nimble.WithDeadlineBudget(time.Duration(req.DeadlineBudgetMS*float64(time.Millisecond))))
+	}
+	if req.RouteKey != "" {
+		opts = append(opts, nimble.WithRouteKey(req.RouteKey))
 	}
 	switch {
 	case req.Seq != nil:
 		if len(sig.Params) != 1 {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args; \"seq\" needs a single list parameter", sig.Name, len(sig.Params)))
-			return "", nil, nil, false
+			return "", "", nil, nil, false
 		}
 		v, err := seqToList(req.Seq, sig.Params[0])
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
-			return "", nil, nil, false
+			return "", "", nil, nil, false
 		}
 		args = []nimble.Value{v}
 	default:
 		if len(req.Args) != len(sig.Params) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("%s takes %d args, got %d", sig.Name, len(sig.Params), len(req.Args)))
-			return "", nil, nil, false
+			return "", "", nil, nil, false
 		}
 		args = make([]nimble.Value, len(req.Args))
 		for i, a := range req.Args {
 			v, err := toValue(a, sig.Params[i])
 			if err != nil {
 				httpError(w, http.StatusBadRequest, fmt.Errorf("arg %d: %w", i, err))
-				return "", nil, nil, false
+				return "", "", nil, nil, false
 			}
 			args[i] = v
 		}
 	}
-	return req.Entry, args, opts, true
+	return req.Model, req.Entry, args, opts, true
 }
 
 // writeInvokeError maps err onto its status code (with the Retry-After
@@ -505,7 +577,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("handler panic: %v", rec))
 		}
 	}()
-	entry, args, opts, ok := s.decodeInvoke(w, r)
+	model, entry, args, opts, ok := s.decodeInvoke(w, r)
 	if !ok {
 		return
 	}
@@ -514,7 +586,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	// the caller's context carries no deadline; r.Context() still propagates
 	// client disconnects.
 	start := time.Now()
-	out, err := s.svc.InvokeOpts(r.Context(), entry, args, opts...)
+	out, err := s.reg.InvokeOpts(r.Context(), model, entry, args, opts...)
 	if err != nil {
 		writeInvokeError(w, err)
 		return
@@ -559,13 +631,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotImplemented, fmt.Errorf("streaming needs a flushable connection"))
 		return
 	}
-	entry, args, opts, ok := s.decodeInvoke(w, r)
+	model, entry, args, opts, ok := s.decodeInvoke(w, r)
 	if !ok {
 		return
 	}
 	// Synchronous open: validation, gate admission, and queue submission
 	// all resolve here, while a plain status response is still possible.
-	st, err := s.svc.InvokeStreamOpts(r.Context(), entry, args, opts...)
+	st, err := s.reg.InvokeStreamOpts(r.Context(), model, entry, args, opts...)
 	if err != nil {
 		writeInvokeError(w, err)
 		return
@@ -620,8 +692,13 @@ func invokeStatus(err error) int {
 		// Validation errors match both sentinels; either way it is the
 		// client's request, not the server's state.
 		return http.StatusBadRequest
-	case errors.Is(err, nimble.ErrUnknownEntry):
+	case errors.Is(err, nimble.ErrUnknownEntry), errors.Is(err, nimble.ErrUnknownModel):
+		// Unknown entry, unknown model name, or a pinned version that is
+		// not (or no longer) deployed.
 		return http.StatusNotFound
+	case errors.Is(err, nimble.ErrNoCanary):
+		// Promote/rollback against a model with no rollout in progress.
+		return http.StatusConflict
 	case errors.Is(err, nimble.ErrOverloaded):
 		// Queue full, deadline unmeetable, or circuit breaker open.
 		return http.StatusTooManyRequests
@@ -636,33 +713,98 @@ func invokeStatus(err error) int {
 }
 
 func (s *server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
-		"model":       s.model,
-		"workers":     s.svc.Workers(),
-		"entrypoints": s.svc.Program().Entrypoints(),
-	})
+	type versionJSON struct {
+		Version  string `json:"version"`
+		State    string `json:"state"`
+		Percent  int    `json:"percent,omitempty"`
+		InFlight int64  `json:"in_flight"`
+	}
+	type modelJSON struct {
+		Name        string        `json:"name"`
+		Versions    []versionJSON `json:"versions"`
+		Entrypoints any           `json:"entrypoints"`
+	}
+	var out []modelJSON
+	for _, ms := range s.reg.Models() {
+		mj := modelJSON{Name: ms.Name}
+		for _, vs := range ms.Versions {
+			mj.Versions = append(mj.Versions, versionJSON{
+				Version:  vs.Version,
+				State:    string(vs.State),
+				Percent:  vs.Percent,
+				InFlight: vs.InFlight,
+			})
+		}
+		if p, err := s.reg.Program(ms.Name); err == nil {
+			mj.Entrypoints = p.Entrypoints()
+		}
+		out = append(out, mj)
+	}
+	writeJSON(w, map[string]any{"default_model": s.defaultModel, "models": out})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	// Degraded (some entry's circuit breaker open) answers 503 so load
-	// balancers stop routing here before users notice; the body still says
-	// which entries are sick.
-	h := s.svc.Health()
-	if h.Degraded {
+	// Degraded (some entry's circuit breaker open on any live version of
+	// any model) answers 503 so load balancers stop routing here before
+	// users notice; the body still says which model/version/entries are
+	// sick.
+	type versionHealth struct {
+		Model    string `json:"model"`
+		Version  string `json:"version"`
+		State    string `json:"state"`
+		Degraded bool   `json:"degraded"`
+		Entries  any    `json:"entries"`
+	}
+	degraded := false
+	var versions []versionHealth
+	for _, ms := range s.reg.Models() {
+		for _, vs := range ms.Versions {
+			if vs.Health.Degraded {
+				degraded = true
+			}
+			versions = append(versions, versionHealth{
+				Model:    ms.Name,
+				Version:  vs.Version,
+				State:    string(vs.State),
+				Degraded: vs.Health.Degraded,
+				Entries:  vs.Health.Entries,
+			})
+		}
+	}
+	if degraded {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	writeJSON(w, map[string]any{
-		"ok":         !h.Degraded,
-		"model":      s.model,
-		"workers":    s.svc.Workers(),
+		"ok":         !degraded,
 		"uptime_sec": time.Since(s.start).Seconds(),
-		"entries":    h.Entries,
+		"versions":   versions,
 	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.svc.Stats())
+	type versionStats struct {
+		Version string             `json:"version"`
+		State   string             `json:"state"`
+		Percent int                `json:"percent,omitempty"`
+		Stats   nimble.ServiceStats `json:"stats"`
+	}
+	models := map[string][]versionStats{}
+	for _, ms := range s.reg.Models() {
+		for _, vs := range ms.Versions {
+			models[ms.Name] = append(models[ms.Name], versionStats{
+				Version: vs.Version,
+				State:   string(vs.State),
+				Percent: vs.Percent,
+				Stats:   vs.Stats,
+			})
+		}
+	}
+	out := map[string]any{"models": models}
+	if st, ok := s.reg.SharedStorageStats(); ok {
+		out["shared_storage"] = st
+	}
+	writeJSON(w, out)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nimble"
+	"nimble/cmd/internal/cli"
 	"nimble/models"
 )
 
@@ -24,8 +25,8 @@ var (
 	testSrvErr  error
 )
 
-// testServer compiles a small MLP once and serves it; handler tests and
-// the fuzz target share it.
+// testServer compiles a small MLP once and serves it through a registry
+// (deployed as mlp@v1); handler tests and the fuzz target share it.
 func testServer(t testing.TB) *server {
 	t.Helper()
 	testSrvOnce.Do(func() {
@@ -35,12 +36,12 @@ func testServer(t testing.TB) *server {
 			testSrvErr = err
 			return
 		}
-		svc, err := p.Serve(nimble.WithWorkers(2), nimble.WithPriorityLanes(2))
-		if err != nil {
+		reg := nimble.NewRegistry(nimble.WithServeDefaults(nimble.WithWorkers(2), nimble.WithPriorityLanes(2)))
+		if _, err := reg.Deploy("mlp", p); err != nil {
 			testSrvErr = err
 			return
 		}
-		testSrv = &server{model: "mlp", svc: svc, maxBody: 1 << 20, start: time.Now()}
+		testSrv = &server{reg: reg, defaultModel: "mlp", maxBody: 1 << 20, start: time.Now()}
 	})
 	if testSrvErr != nil {
 		t.Fatal(testSrvErr)
@@ -74,8 +75,8 @@ var (
 	testDecErr  error
 )
 
-// testDecoderServer serves the streaming decoder model; SSE tests and the
-// SSE fuzz target share it.
+// testDecoderServer serves the streaming decoder model through a registry
+// (deployed as decoder@v1); SSE tests and the SSE fuzz target share it.
 func testDecoderServer(t testing.TB) *server {
 	t.Helper()
 	testDecOnce.Do(func() {
@@ -84,12 +85,13 @@ func testDecoderServer(t testing.TB) *server {
 			testDecErr = err
 			return
 		}
-		svc, err := p.Serve(nimble.WithWorkers(2), nimble.WithoutBatching(), nimble.WithPriorityLanes(2))
-		if err != nil {
+		reg := nimble.NewRegistry(nimble.WithServeDefaults(
+			nimble.WithWorkers(2), nimble.WithoutBatching(), nimble.WithPriorityLanes(2)))
+		if _, err := reg.Deploy("decoder", p); err != nil {
 			testDecErr = err
 			return
 		}
-		testDec = &server{model: "decoder", svc: svc, maxBody: 1 << 20, start: time.Now()}
+		testDec = &server{reg: reg, defaultModel: "decoder", maxBody: 1 << 20, start: time.Now()}
 	})
 	if testDecErr != nil {
 		t.Fatal(testDecErr)
@@ -187,6 +189,8 @@ func TestInvokeStatusFamilies(t *testing.T) {
 		{fmt.Errorf("x: %w", nimble.ErrBadInput), http.StatusBadRequest},
 		{fmt.Errorf("x: %w", nimble.ErrBadArity), http.StatusBadRequest},
 		{fmt.Errorf("x: %w", nimble.ErrUnknownEntry), http.StatusNotFound},
+		{fmt.Errorf("x: %w", nimble.ErrUnknownModel), http.StatusNotFound},
+		{fmt.Errorf("x: %w", nimble.ErrNoCanary), http.StatusConflict},
 		{fmt.Errorf("x: %w", nimble.ErrOverloaded), http.StatusTooManyRequests},
 		{fmt.Errorf("x: %w", nimble.ErrCanceled), http.StatusGatewayTimeout},
 		{fmt.Errorf("x: %w", context.DeadlineExceeded), http.StatusInternalServerError},
@@ -201,7 +205,8 @@ func TestInvokeStatusFamilies(t *testing.T) {
 	}
 }
 
-// TestHealthzHealthy: a fresh service reports ok with a 200.
+// TestHealthzHealthy: a fresh registry reports ok with a 200, one health
+// block per live model version.
 func TestHealthzHealthy(t *testing.T) {
 	s := testServer(t)
 	w := httptest.NewRecorder()
@@ -210,17 +215,182 @@ func TestHealthzHealthy(t *testing.T) {
 		t.Fatalf("healthz status = %d, want 200", w.Code)
 	}
 	var resp struct {
-		OK      bool `json:"ok"`
-		Entries []struct {
-			Entry   string `json:"entry"`
-			Healthy bool   `json:"healthy"`
-		} `json:"entries"`
+		OK       bool `json:"ok"`
+		Versions []struct {
+			Model    string `json:"model"`
+			Version  string `json:"version"`
+			Degraded bool   `json:"degraded"`
+			Entries  []struct {
+				Entry   string `json:"entry"`
+				Healthy bool   `json:"healthy"`
+			} `json:"entries"`
+		} `json:"versions"`
 	}
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if !resp.OK || len(resp.Entries) == 0 || !resp.Entries[0].Healthy {
-		t.Errorf("healthz body = %s", w.Body.String())
+	if !resp.OK || len(resp.Versions) == 0 {
+		t.Fatalf("healthz body = %s", w.Body.String())
+	}
+	v := resp.Versions[0]
+	if v.Model != "mlp" || v.Version != "v1" || v.Degraded || len(v.Entries) == 0 || !v.Entries[0].Healthy {
+		t.Errorf("healthz version block = %+v", v)
+	}
+}
+
+// TestInvokeModelRouting: the "model" body field addresses the registry —
+// unpinned, @latest, and pinned forms serve; unknown names and stale pins
+// are 404; malformed references are 400. All decided before any work runs.
+func TestInvokeModelRouting(t *testing.T) {
+	s := testServer(t)
+	withModel := func(model string) []byte {
+		m := map[string]any{}
+		_ = json.Unmarshal(validBody(1), &m)
+		m["model"] = model
+		b, _ := json.Marshal(m)
+		return b
+	}
+	cases := []struct {
+		model string
+		want  int
+	}{
+		{"mlp", http.StatusOK},
+		{"mlp@v1", http.StatusOK},
+		{"mlp@latest", http.StatusOK},
+		{"mlp@v999", http.StatusNotFound},
+		{"nope", http.StatusNotFound},
+		{"nope@v1", http.StatusNotFound},
+		{"mlp@", http.StatusBadRequest},
+		{"@", http.StatusBadRequest},
+		{"@v1", http.StatusBadRequest},
+		{"mlp@v1@v2", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model, func(t *testing.T) {
+			w := postInvoke(t, s, withModel(tc.model))
+			if w.Code != tc.want {
+				t.Fatalf("model %q status = %d, want %d (body %s)", tc.model, w.Code, tc.want, w.Body.String())
+			}
+			var resp map[string]any
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("response is not JSON: %s", w.Body.String())
+			}
+		})
+	}
+}
+
+// TestAdminLifecycle drives the control plane over HTTP: hot-swap deploy,
+// canary deploy, promote, rollback, and the error surface of each.
+func TestAdminLifecycle(t *testing.T) {
+	// A private registry: the admin deploy rebuilds the full-size cli
+	// model, which must not shadow the shared fixture's small-MLP v1.
+	m, err := cli.Build("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := nimble.NewRegistry(nimble.WithServeDefaults(nimble.WithWorkers(1)))
+	defer reg.Close()
+	if _, err := reg.Deploy("mlp", m.Program); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{reg: reg, defaultModel: "mlp", maxBody: 1 << 20, start: time.Now()}
+
+	post := func(path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		switch path {
+		case "/admin/deploy":
+			s.handleDeploy(w, req)
+		case "/admin/promote":
+			s.handlePromote(w, req)
+		case "/admin/rollback":
+			s.handleRollback(w, req)
+		}
+		return w
+	}
+
+	// Hot-swap: a fresh build becomes v2 stable.
+	w := post("/admin/deploy", `{"model":"mlp"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("deploy status = %d: %s", w.Code, w.Body.String())
+	}
+	var dep struct {
+		Version string `json:"version"`
+		State   string `json:"state"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dep); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Version != "v2" || dep.State != "stable" {
+		t.Fatalf("deploy response = %s", w.Body.String())
+	}
+
+	// Promote with nothing in flight is a 409.
+	if w := post("/admin/promote", `{"model":"mlp"}`); w.Code != http.StatusConflict {
+		t.Fatalf("promote without canary status = %d, want 409: %s", w.Code, w.Body.String())
+	}
+
+	// Canary rollout, then promote it.
+	w = post("/admin/deploy", `{"model":"mlp","canary":25}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("canary deploy status = %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dep); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Version != "v3" || dep.State != "canary" {
+		t.Fatalf("canary deploy response = %s", w.Body.String())
+	}
+	w = post("/admin/promote", `{"model":"mlp"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("promote status = %d: %s", w.Code, w.Body.String())
+	}
+
+	// Another rollout, rolled back.
+	if w := post("/admin/deploy", `{"model":"mlp","canary":10}`); w.Code != http.StatusOK {
+		t.Fatalf("second canary deploy status = %d: %s", w.Code, w.Body.String())
+	}
+	if w := post("/admin/rollback", `{"model":"mlp"}`); w.Code != http.StatusOK {
+		t.Fatalf("rollback status = %d: %s", w.Code, w.Body.String())
+	}
+
+	// Error surface: bad model name, missing model, out-of-range canary,
+	// unknown promote target, malformed body.
+	for _, tc := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/admin/deploy", `{"model":"not-a-model"}`, http.StatusBadRequest},
+		{"/admin/deploy", `{}`, http.StatusBadRequest},
+		{"/admin/deploy", `{"model":"mlp","canary":150}`, http.StatusBadRequest},
+		{"/admin/deploy", `{"model":`, http.StatusBadRequest},
+		{"/admin/promote", `{"model":"ghost"}`, http.StatusNotFound},
+		{"/admin/rollback", `{"model":"ghost"}`, http.StatusNotFound},
+		{"/admin/promote", `{}`, http.StatusBadRequest},
+	} {
+		if w := post(tc.path, tc.body); w.Code != tc.want {
+			t.Errorf("%s %s status = %d, want %d: %s", tc.path, tc.body, w.Code, tc.want, w.Body.String())
+		}
+	}
+
+	// The listing reflects the surviving stable version.
+	wm := httptest.NewRecorder()
+	s.handleModels(wm, httptest.NewRequest(http.MethodGet, "/models", nil))
+	var list struct {
+		Models []struct {
+			Name     string `json:"name"`
+			Versions []struct {
+				Version string `json:"version"`
+				State   string `json:"state"`
+			} `json:"versions"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(wm.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 || len(list.Models[0].Versions) != 1 ||
+		list.Models[0].Versions[0].Version != "v3" || list.Models[0].Versions[0].State != "stable" {
+		t.Fatalf("/models after lifecycle = %s", wm.Body.String())
 	}
 }
 
@@ -347,6 +517,17 @@ func FuzzInvokeHandler(f *testing.F) {
 	f.Add([]byte(`{"entry":"main","priority":9999999,"deadline_budget_ms":1e300,"args":[]}`))
 	f.Add([]byte(strings.Repeat(`{"args":[`, 100)))
 	f.Add([]byte("\x00\xff\xfe junk"))
+	f.Add([]byte(`{"model":"mlp","route_key":"u1","entry":"main","args":[{"dtype":"float32","shape":[1,8],"data":[0,0,0,0,0,0,0,0]}]}`))
+	f.Add([]byte(`{"model":"mlp@v1","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"mlp@latest","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"mlp@v999","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"mlp@","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"@","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"@v1","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"mlp@v1@v2","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"ghost","entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":12,"entry":"main","args":[]}`))
+	f.Add([]byte(`{"model":"` + strings.Repeat("m", 4096) + `","entry":"main","args":[]}`))
 
 	s := testServer(f)
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -382,6 +563,12 @@ func FuzzSSEHandler(f *testing.F) {
 	f.Add([]byte(`{"entry":"generate","priority":-1,"args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
 	f.Add([]byte(`{"entry":"generate","deadline_budget_ms":0.001,"args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
 	f.Add([]byte("\x00\xff\xfe junk"))
+	f.Add([]byte(`{"model":"decoder","route_key":"s1","entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"model":"decoder@v1","entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"model":"decoder@v42","entry":"generate","args":[{"dtype":"int64","shape":[1],"data":[5]}]}`))
+	f.Add([]byte(`{"model":"decoder@","entry":"generate","args":[]}`))
+	f.Add([]byte(`{"model":"decoder@v1@v1","entry":"generate","args":[]}`))
+	f.Add([]byte(`{"model":"missing","entry":"generate","args":[]}`))
 
 	s := testDecoderServer(f)
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -480,12 +667,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	body := w.Body.String()
 	for _, want := range []string{
 		"# TYPE nimble_pool_invocations_total counter",
-		"nimble_pool_workers 2",
-		`nimble_gate_admitted_total{entry="generate"}`,
-		`nimble_sched_submitted_total{entry="generate"}`,
-		`nimble_sched_peak_occupancy{entry="generate"}`,
-		`nimble_sched_step_p99_seconds{entry="generate"}`,
-		`nimble_entry_healthy{entry="generate"} 1`,
+		`nimble_pool_workers{model="decoder",version="v1"} 2`,
+		`nimble_version_canary{model="decoder",version="v1"} 0`,
+		`nimble_gate_admitted_total{model="decoder",version="v1",entry="generate"}`,
+		`nimble_sched_submitted_total{model="decoder",version="v1",entry="generate"}`,
+		`nimble_sched_peak_occupancy{model="decoder",version="v1",entry="generate"}`,
+		`nimble_sched_step_p99_seconds{model="decoder",version="v1",entry="generate"}`,
+		`nimble_entry_healthy{model="decoder",version="v1",entry="generate"} 1`,
+		"nimble_shared_storage_resident_bytes",
+		"nimble_models 1",
 		"nimble_up 1",
 	} {
 		if !strings.Contains(body, want) {

@@ -50,6 +50,15 @@ var (
 	// after consecutive internal faults. RetryAfter extracts the back-off
 	// hint these errors carry.
 	ErrOverloaded = serve.ErrOverloaded
+	// ErrUnknownModel reports a Registry request addressing a model name or
+	// pinned version that is not deployed. Registry.Models lists what is.
+	// Servers map it to 404 — the reference is well-formed, the target just
+	// does not exist (malformed references are ErrBadInput → 400).
+	ErrUnknownModel = errors.New("nimble: unknown model")
+	// ErrNoCanary reports a Promote or Rollback against a model with no
+	// canary rollout in progress: there is nothing to promote or roll back.
+	// Servers map it to 409.
+	ErrNoCanary = errors.New("nimble: no canary deployment in progress")
 	// ErrVerify reports a static-verifier rejection: a compiled artifact
 	// (the IR after some pass, the emitted bytecode, or a deserialized
 	// executable in Load) violated a machine-checked invariant. The concrete

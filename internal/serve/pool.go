@@ -156,6 +156,10 @@ type waiter struct {
 // are only touched when concurrency actually demands them.
 type Pool struct {
 	exe *vm.Executable
+	// shared is the cross-VM storage tier every session (including the
+	// fresh VMs minted by quarantine) attaches to; nil means each session
+	// keeps a purely private storage pool.
+	shared *vm.SharedStoragePool
 
 	mu       sync.Mutex
 	free     []*Session // LIFO stack
@@ -181,6 +185,17 @@ type Pool struct {
 // must be fully constructed (compiled, or deserialized and linked) before
 // pooling; Freeze makes any later mutation a panic instead of a data race.
 func NewPool(exe *vm.Executable, nWorkers int) (*Pool, error) {
+	return NewPoolShared(exe, nWorkers, nil)
+}
+
+// NewPoolShared is NewPool with a cross-VM storage tier: every session —
+// including the fresh VMs quarantine mints over poisoned ones — attaches
+// to shared, so local storage misses draw from the common stock and local
+// overflow migrates there instead of dying. Passing the same shared pool
+// to the pools of several executables is the point: a multi-model server's
+// resident buffer memory then tracks the concurrent working set, not the
+// model count. A nil shared pool degrades to NewPool.
+func NewPoolShared(exe *vm.Executable, nWorkers int, shared *vm.SharedStoragePool) (*Pool, error) {
 	if nWorkers <= 0 {
 		return nil, fmt.Errorf("serve: pool needs at least 1 worker, got %d", nWorkers)
 	}
@@ -191,15 +206,25 @@ func NewPool(exe *vm.Executable, nWorkers int) (*Pool, error) {
 		}
 	}
 	exe.Freeze()
-	p := &Pool{exe: exe, waiterID: map[uint64]*waiter{}}
+	p := &Pool{exe: exe, shared: shared, waiterID: map[uint64]*waiter{}}
 	for i := 0; i < nWorkers; i++ {
-		m := vm.New(exe)
-		m.MarkPooled()
-		s := &Session{machine: m, id: i}
+		s := p.newSession(i)
 		p.all = append(p.all, s)
 		p.free = append(p.free, s)
 	}
 	return p, nil
+}
+
+// newSession mints session i's VM with the pool's storage configuration
+// applied; construction and the quarantine replacement path share it so a
+// fresh VM can never silently lose the shared-tier attachment.
+func (p *Pool) newSession(i int) *Session {
+	m := vm.New(p.exe)
+	if p.shared != nil {
+		m.AttachSharedPool(p.shared)
+	}
+	m.MarkPooled()
+	return &Session{machine: m, id: i}
 }
 
 // Executable returns the shared (frozen) executable.
@@ -309,9 +334,7 @@ func (p *Pool) checkoutLocked() {
 // block.
 func (p *Pool) Release(s *Session) {
 	if s.poisoned {
-		m := vm.New(p.exe)
-		m.MarkPooled()
-		fresh := &Session{machine: m, id: s.id}
+		fresh := p.newSession(s.id)
 		fresh.invocations.Store(s.invocations.Load())
 		p.mu.Lock()
 		p.quarantined++

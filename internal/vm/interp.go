@@ -788,6 +788,10 @@ func (vm *VM) execAllocStorage(fr *frame, in Instruction) error {
 // storages parked on other devices.
 type storagePool struct {
 	classes map[poolKey][]*Storage
+	// shared, when attached, is the cross-VM tier: local misses draw from
+	// it and local overflow donates to it, so buffer memory migrates to
+	// whichever VM (of whichever program) is hot instead of being dropped.
+	shared *SharedStoragePool
 }
 
 // poolKey bins free storages by device and size class.
@@ -822,6 +826,11 @@ func (p *storagePool) acquire(size int, dev ir.Device) (*Storage, bool) {
 		p.classes[key] = list[:len(list)-1]
 		return st, true
 	}
+	if p.shared != nil {
+		if st, ok := p.shared.acquire(size, dev); ok {
+			return st, true
+		}
+	}
 	// Allocate at the class ceiling so the storage is maximally reusable.
 	return &Storage{SizeBytes: 1 << key.cls, Device: dev}, false
 }
@@ -832,6 +841,10 @@ func (p *storagePool) release(st *Storage) {
 	key := poolKey{dev: st.Device, cls: sizeClass(st.SizeBytes)}
 	if len(p.classes[key]) < 64 { // bound pool growth
 		p.classes[key] = append(p.classes[key], st)
+		return
+	}
+	if p.shared != nil {
+		p.shared.donate(st) // overflow migrates instead of dying
 	}
 }
 

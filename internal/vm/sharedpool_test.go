@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"nimble/internal/ir"
+)
+
+// TestSharedPoolOverflowMigrates: a per-VM storage pool donates its
+// overflow (beyond the 64-per-class local bound) to the shared tier, and a
+// second VM's pool — a different "program" as far as storage is concerned —
+// serves its local miss from that donation instead of allocating.
+func TestSharedPoolOverflowMigrates(t *testing.T) {
+	sp := NewSharedStoragePool()
+	a := newStoragePool()
+	a.shared = sp
+	b := newStoragePool()
+	b.shared = sp
+
+	// Fill one size class of A past its local bound: the 65th release must
+	// migrate to the shared tier, not die.
+	const size = 4096
+	for i := 0; i < 65; i++ {
+		a.release(&Storage{SizeBytes: size, Device: ir.CPU(0)})
+	}
+	st := sp.Stats()
+	if st.Donated != 1 {
+		t.Fatalf("Donated = %d after one overflow, want 1", st.Donated)
+	}
+	if st.ResidentBytes != size {
+		t.Fatalf("ResidentBytes = %d, want %d", st.ResidentBytes, size)
+	}
+
+	// B has an empty local pool: its acquire must hit the shared storage A
+	// overflowed, and the pool must report the reuse.
+	got, reused := b.acquire(size, ir.CPU(0))
+	if !reused {
+		t.Fatal("B's acquire allocated though the shared tier held a storage")
+	}
+	if got.SizeBytes != size {
+		t.Fatalf("B acquired %d bytes, want %d", got.SizeBytes, size)
+	}
+	st = sp.Stats()
+	if st.Hits != 1 || st.ResidentBytes != 0 {
+		t.Fatalf("after cross-VM reuse: Hits=%d ResidentBytes=%d, want 1 and 0", st.Hits, st.ResidentBytes)
+	}
+
+	// Empty again: the next miss falls through to allocation and counts.
+	if _, reused := b.acquire(size, ir.CPU(0)); reused {
+		t.Fatal("second acquire reused from an empty shared tier")
+	}
+	if st := sp.Stats(); st.Misses < 1 {
+		t.Fatalf("Misses = %d, want >= 1", st.Misses)
+	}
+}
+
+// TestSharedPoolClassBound: donations beyond the per-class cap are refused
+// (dropped for the GC) so parked memory stays bounded however many program
+// versions drain into the pool at once.
+func TestSharedPoolClassBound(t *testing.T) {
+	sp := NewSharedStoragePool()
+	sp.perClass = 4
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if sp.donate(&Storage{SizeBytes: 128, Device: ir.CPU(0)}) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d donations with perClass=4", accepted)
+	}
+	st := sp.Stats()
+	if st.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", st.Dropped)
+	}
+	if st.ResidentBytes != 4*128 {
+		t.Fatalf("ResidentBytes = %d, want %d", st.ResidentBytes, 4*128)
+	}
+}
+
+// TestSharedPoolConcurrent: donate/acquire from many goroutines; the race
+// detector owns the correctness claim, the final accounting owns the
+// conservation claim (nothing double-handed, resident never negative).
+func TestSharedPoolConcurrent(t *testing.T) {
+	sp := NewSharedStoragePool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp.donate(&Storage{SizeBytes: 1024, Device: ir.CPU(0)})
+				sp.acquire(1024, ir.CPU(0))
+			}
+		}()
+	}
+	wg.Wait()
+	st := sp.Stats()
+	if st.ResidentBytes < 0 {
+		t.Fatalf("negative resident bytes: %d", st.ResidentBytes)
+	}
+	if st.Hits+st.ResidentBytes/1024 != st.Donated {
+		t.Fatalf("conservation violated: donated=%d hits=%d resident=%d",
+			st.Donated, st.Hits, st.ResidentBytes)
+	}
+}
+
+// TestAttachSharedPoolPooledPanics: the attachment is a configuration
+// mutator with the same discipline as SetProfiler — after a pool adopts
+// the VM it must panic instead of racing the session's owner.
+func TestAttachSharedPoolPooledPanics(t *testing.T) {
+	m := New(&Executable{})
+	m.MarkPooled()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AttachSharedPool on a pooled VM did not panic")
+		}
+	}()
+	m.AttachSharedPool(NewSharedStoragePool())
+}

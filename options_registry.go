@@ -1,0 +1,93 @@
+package nimble
+
+import (
+	"time"
+
+	"nimble/internal/vm"
+)
+
+// RegistryOption configures NewRegistry. The zero configuration shares one
+// storage pool across every hosted model, drains replaced versions with a
+// 30-second bound, and splits canary traffic from a fixed seed (fully
+// deterministic routing for a given deploy/request sequence).
+type RegistryOption func(*registryConfig)
+
+type registryConfig struct {
+	seed          uint64
+	drainBound    time.Duration
+	sharedStorage bool
+	serveDefaults []ServiceOption
+}
+
+// WithRegistrySeed sets the base seed canary-epoch split seeds derive from.
+// Two registries with the same seed, deploy sequence, and request sequence
+// route identically — the property the canary determinism tests pin down.
+func WithRegistrySeed(seed uint64) RegistryOption {
+	return func(c *registryConfig) { c.seed = seed }
+}
+
+// WithDrainTimeout bounds how long a replaced version may keep serving its
+// in-flight requests and open streams after a hot-swap before stragglers
+// are cut with ErrClosed (default 30s).
+func WithDrainTimeout(d time.Duration) RegistryOption {
+	return func(c *registryConfig) { c.drainBound = d }
+}
+
+// WithoutSharedStorage gives every deployed version its own per-session
+// storage pools with no cross-program tier — full memory isolation between
+// models at the cost of a larger resident footprint.
+func WithoutSharedStorage() RegistryOption {
+	return func(c *registryConfig) { c.sharedStorage = false }
+}
+
+// WithServeDefaults sets ServiceOptions applied to every Deploy, before
+// any per-deploy WithServeOptions (later options win).
+func WithServeDefaults(opts ...ServiceOption) RegistryOption {
+	return func(c *registryConfig) { c.serveDefaults = append(c.serveDefaults, opts...) }
+}
+
+// DeployOption configures one Registry.Deploy.
+type DeployOption func(*deployConfig)
+
+type deployConfig struct {
+	canary    int
+	serveOpts []ServiceOption
+}
+
+// WithCanary deploys the new version as a canary serving pct percent of the
+// model's unpinned traffic (1–99) instead of replacing the stable outright.
+// The rollout ends with Promote (canary becomes stable) or Rollback (canary
+// is dropped); either drains the losing version. Requires an existing
+// stable version to split against.
+func WithCanary(pct int) DeployOption {
+	return func(c *deployConfig) { c.canary = pct }
+}
+
+// WithServeOptions sets ServiceOptions for this version's Service, layered
+// over the registry's WithServeDefaults.
+func WithServeOptions(opts ...ServiceOption) DeployOption {
+	return func(c *deployConfig) { c.serveOpts = append(c.serveOpts, opts...) }
+}
+
+// WithRouteKey pins the request's canary-split decision to key: within one
+// canary epoch, every request carrying the same key routes to the same
+// version, so a user session never flaps between weight versions
+// mid-rollout. Ignored outside a Registry invoke or when no canary is live.
+func WithRouteKey(key string) InvokeOption {
+	return func(c *invokeConfig) { c.routeKey = key }
+}
+
+// routeKeyOf extracts the route key from an option list without disturbing
+// the other fields (the resolved Service re-applies the full list).
+func routeKeyOf(opts []InvokeOption) string {
+	var c invokeConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.routeKey
+}
+
+// SharedStorageStats snapshots the registry's cross-program storage tier:
+// bytes parked for reuse, hit/miss traffic, and how many donations were
+// accepted or dropped at the per-class bound.
+type SharedStorageStats = vm.SharedPoolStats

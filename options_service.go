@@ -1,6 +1,10 @@
 package nimble
 
-import "time"
+import (
+	"time"
+
+	"nimble/internal/vm"
+)
 
 // ServiceOption configures Program.Serve. The zero configuration (no
 // options) is a sensible production default: GOMAXPROCS sessions,
@@ -24,6 +28,11 @@ type serviceConfig struct {
 	lanes            int
 	schedWindow      int
 	pinStreams       bool
+	// sharedStorage attaches every session to a cross-program storage
+	// tier. Set only by the Registry (no public option): sharing buffer
+	// memory across services is a property of co-hosting models, not of
+	// one service.
+	sharedStorage *vm.SharedStoragePool
 }
 
 // WithWorkers sets the session-pool size (default GOMAXPROCS).
@@ -86,8 +95,9 @@ func WithPinnedStreams() ServiceOption { return func(c *serviceConfig) { c.pinSt
 type InvokeOption func(*invokeConfig)
 
 type invokeConfig struct {
-	lane   int
-	budget time.Duration
+	lane     int
+	budget   time.Duration
+	routeKey string
 }
 
 // WithPriority assigns the request to priority lane p (0 = most urgent,

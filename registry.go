@@ -1,0 +1,629 @@
+package nimble
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nimble/internal/vm"
+)
+
+// Registry hosts many Programs behind one front door with versioned names
+// and zero-downtime weight hot-swap. Each model name owns a sequence of
+// versions ("v1", "v2", ...); requests address a model as "bert" (the
+// routed serving mix), "bert@latest" (the newest live version), or
+// "bert@v2" (pinned). Deploying a new version is atomic from the caller's
+// view:
+//
+//  1. the new Program is verified (the static invariant catalog — a bad
+//     artifact is rejected before it can serve a single request),
+//  2. a standby Service is built over it,
+//  3. an atomic epoch pointer flips, so every admission from that instant
+//     routes to the new version,
+//  4. the old version drains: requests that resolved the old epoch finish
+//     on it (a per-version in-flight count covers the resolve-to-admit
+//     window; the session pool's waiter-handoff queue drains its own
+//     admitted backlog), and only then are its sessions released.
+//
+// No request ever observes mixed-version state: it runs entirely on the
+// version it resolved, and a version is only released once every such
+// request has finished.
+//
+// Deploying WithCanary(pct) keeps the current stable and routes pct% of
+// unpinned traffic to the new version — deterministically: a request
+// carrying WithRouteKey always routes the same way within one canary epoch,
+// and unkeyed traffic is split by an exact round-robin stride. Promote
+// makes the canary the new stable (draining the old); Rollback drops the
+// canary (draining it) and leaves stable untouched.
+//
+// All deployed services attach to one shared cross-program storage pool
+// (unless WithoutSharedStorage), so resident buffer memory scales with the
+// concurrent working set rather than #models × #sessions.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex // serializes Deploy/Promote/Rollback/Shutdown
+	models sync.Map   // name -> *modelState; read path is lock-free
+	names  []string   // deploy order, under mu
+
+	shared        *vm.SharedStoragePool
+	serveDefaults []ServiceOption
+	seed          uint64
+	epochCount    atomic.Uint64 // distinct seeds per canary epoch
+	drainBound    time.Duration
+	drains        sync.WaitGroup // background drains of replaced versions
+	closed        atomic.Bool
+}
+
+// NewRegistry builds an empty registry. The default configuration shares
+// one storage pool across everything it will host, drains replaced
+// versions with a 30s bound, and seeds canary routing deterministically.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	cfg := registryConfig{seed: 1, drainBound: 30 * time.Second, sharedStorage: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Registry{
+		serveDefaults: cfg.serveDefaults,
+		seed:          cfg.seed,
+		drainBound:    cfg.drainBound,
+	}
+	if cfg.sharedStorage {
+		r.shared = vm.NewSharedStoragePool()
+	}
+	return r
+}
+
+// modelState is one name's mutable routing state. The epoch pointer is the
+// swap: readers load it once per request and never see a half-updated mix.
+type modelState struct {
+	name        string
+	epoch       atomic.Pointer[modelEpoch]
+	nextVersion atomic.Int64
+}
+
+// modelEpoch is an immutable snapshot of one name's serving mix: the
+// stable version, the canary (nil outside a canary rollout) with its
+// percentage and split seed, and the stride counter unkeyed requests are
+// split by. Every routing change (deploy, promote, rollback) installs a
+// fresh epoch; nothing in a published epoch is ever mutated except the
+// counter, which is atomic.
+type modelEpoch struct {
+	stable  *modelVersion
+	canary  *modelVersion
+	percent int
+	seed    uint64
+	counter atomic.Uint64
+}
+
+// live lists the epoch's versions, stable first.
+func (ep *modelEpoch) live() []*modelVersion {
+	if ep == nil {
+		return nil
+	}
+	vs := []*modelVersion{ep.stable}
+	if ep.canary != nil {
+		vs = append(vs, ep.canary)
+	}
+	return vs
+}
+
+// modelVersion is one deployed Program with its serving runtime. inflight
+// counts requests between route() and completion — the window in which the
+// request holds the version but may not yet appear in the Service's own
+// accounting; drain waits for it to hit zero before shutting the Service
+// down, which is what makes the pointer flip invisible to callers.
+type modelVersion struct {
+	model    string
+	version  string
+	prog     *Program
+	svc      *Service
+	inflight atomic.Int64
+	retired  atomic.Bool
+	deployed time.Time
+}
+
+// splitModelRef parses "name", "name@latest", or "name@vN". The empty
+// version string means "no pin" (route the serving mix).
+func splitModelRef(ref string) (name, version string, err error) {
+	name, version, tagged := strings.Cut(ref, "@")
+	if name == "" || (tagged && version == "") || strings.Contains(version, "@") {
+		return "", "", badModelRef(ref)
+	}
+	return name, version, nil
+}
+
+func badModelRef(ref string) error {
+	return fmt.Errorf("%w: malformed model reference %q (want name, name@latest, or name@vN)", ErrBadInput, ref)
+}
+
+// state returns the named model's routing state.
+func (r *Registry) state(name string) (*modelState, error) {
+	if v, ok := r.models.Load(name); ok {
+		return v.(*modelState), nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+}
+
+// Deploy registers prog as the next version of name and returns its
+// version label ("v1", "v2", ...). The program is verified first — a
+// Deploy can never put an artifact in the serving path that the static
+// checker rejects. Without options the deploy is a full hot-swap: new
+// admissions route to the new version the moment Deploy returns, and every
+// previously live version of the name drains in the background (bounded by
+// the registry's drain timeout) before its sessions are released.
+// WithCanary(pct) instead keeps the current stable and routes pct% of
+// unpinned traffic to the new version until Promote or Rollback.
+func (r *Registry) Deploy(name string, prog *Program, opts ...DeployOption) (string, error) {
+	if strings.Contains(name, "@") || name == "" {
+		return "", badModelRef(name)
+	}
+	var cfg deployConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.canary < 0 || cfg.canary > 100 {
+		return "", fmt.Errorf("%w: canary percentage %d outside [0,100]", ErrBadInput, cfg.canary)
+	}
+	if prog == nil || prog.unlinked {
+		return "", fmt.Errorf("nimble: registry: deploy %q: program has no linked kernels", name)
+	}
+	// The PR 6 verifier gates the swap: a deploy that violates the
+	// executable invariant catalog is refused outright.
+	if err := prog.Verify(); err != nil {
+		return "", fmt.Errorf("nimble: registry: deploy %q: %w", name, err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed.Load() {
+		return "", fmt.Errorf("nimble: registry: %w", ErrClosed)
+	}
+	var ms *modelState
+	if v, ok := r.models.Load(name); ok {
+		ms = v.(*modelState)
+	} else {
+		ms = &modelState{name: name}
+	}
+	old := ms.epoch.Load()
+	if cfg.canary > 0 && old == nil {
+		return "", fmt.Errorf("nimble: registry: deploy %q: canary needs a stable version to split against", name)
+	}
+
+	// Build the standby Service before touching any routing state: a
+	// failed build must leave the old epoch serving untouched.
+	sc := r.serviceConfig(cfg.serveOpts)
+	svc, err := prog.buildService(sc)
+	if err != nil {
+		return "", fmt.Errorf("nimble: registry: deploy %q: %w", name, err)
+	}
+	nv := &modelVersion{
+		model:    name,
+		version:  fmt.Sprintf("v%d", ms.nextVersion.Add(1)),
+		prog:     prog,
+		svc:      svc,
+		deployed: time.Now(),
+	}
+
+	ep := &modelEpoch{stable: nv}
+	var drains []*modelVersion
+	if cfg.canary > 0 {
+		ep.stable = old.stable
+		ep.canary = nv
+		ep.percent = cfg.canary
+		ep.seed = splitmix64(r.seed ^ (r.epochCount.Add(1) * 0x9e3779b97f4a7c15))
+		if old.canary != nil {
+			drains = append(drains, old.canary) // replaced mid-rollout
+		}
+	} else if old != nil {
+		drains = append(drains, old.live()...)
+	}
+	ms.epoch.Store(ep)
+	if _, loaded := r.models.LoadOrStore(name, ms); !loaded {
+		r.names = append(r.names, name)
+	}
+	for _, v := range drains {
+		r.drainAsync(v)
+	}
+	return nv.version, nil
+}
+
+// Promote makes name's canary the stable version — the rollout succeeded —
+// and drains the old stable. Returns the promoted version label.
+func (r *Registry) Promote(name string) (string, error) {
+	return r.endCanary(name, true)
+}
+
+// Rollback drops name's canary — the rollout failed — draining it; the
+// stable version keeps serving untouched. Returns the dropped version
+// label.
+func (r *Registry) Rollback(name string) (string, error) {
+	return r.endCanary(name, false)
+}
+
+func (r *Registry) endCanary(name string, promote bool) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed.Load() {
+		return "", fmt.Errorf("nimble: registry: %w", ErrClosed)
+	}
+	ms, err := r.state(name)
+	if err != nil {
+		return "", err
+	}
+	old := ms.epoch.Load()
+	if old == nil || old.canary == nil {
+		return "", fmt.Errorf("nimble: registry: %q: %w", name, ErrNoCanary)
+	}
+	var ep *modelEpoch
+	var drained *modelVersion
+	if promote {
+		ep = &modelEpoch{stable: old.canary}
+		drained = old.stable
+	} else {
+		ep = &modelEpoch{stable: old.stable}
+		drained = old.canary
+	}
+	ms.epoch.Store(ep)
+	r.drainAsync(drained)
+	if promote {
+		return ep.stable.version, nil
+	}
+	return drained.version, nil
+}
+
+// serviceConfig folds the registry's serve defaults with per-deploy
+// overrides and attaches the shared storage tier.
+func (r *Registry) serviceConfig(deployOpts []ServiceOption) serviceConfig {
+	var sc serviceConfig
+	for _, o := range r.serveDefaults {
+		o(&sc)
+	}
+	for _, o := range deployOpts {
+		o(&sc)
+	}
+	sc.sharedStorage = r.shared
+	return sc
+}
+
+// drainAsync retires a replaced version in the background: new routes stop
+// landing on it (the epoch no longer lists it, and the retired flag closes
+// the resolve race), in-flight requests and open streams finish, then the
+// Service shuts down and the sessions are released. Bounded by the
+// registry's drain timeout; stragglers past the bound are cut with
+// ErrClosed by Service.Shutdown.
+func (r *Registry) drainAsync(v *modelVersion) {
+	r.drains.Add(1)
+	go func() {
+		defer r.drains.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), r.drainBound)
+		defer cancel()
+		r.drainVersion(ctx, v)
+	}()
+}
+
+// drainVersion is the drain protocol shared by hot-swap and Shutdown. The
+// epoch pointer must already have been republished without v (or the
+// registry closed) before calling.
+func (r *Registry) drainVersion(ctx context.Context, v *modelVersion) {
+	if v.retired.Swap(true) {
+		// Already retiring (e.g. Shutdown racing a swap drain); the first
+		// retirer owns the Service shutdown.
+		return
+	}
+	// Wait out the resolve-to-admit window: a request that loaded the old
+	// epoch just before the flip holds an inflight ref until its Invoke (or
+	// its whole stream) finishes. Poll — swaps are not a hot path.
+	tick := time.NewTicker(100 * time.Microsecond)
+	defer tick.Stop()
+	for v.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			// Bound expired: Service.Shutdown below cuts the stragglers.
+			goto shutdown
+		case <-tick.C:
+		}
+	}
+shutdown:
+	_ = v.svc.Shutdown(ctx)
+}
+
+// route resolves a model reference to the version one request runs on,
+// returning a release func that must be called when the request (or its
+// stream) finishes. The returned version is guaranteed live: a version
+// starts draining only after it is unreachable from the epoch, so the
+// retired re-check after the inflight increment closes the race with a
+// concurrent swap.
+func (r *Registry) route(ref string, key string) (*modelVersion, func(), error) {
+	name, version, err := splitModelRef(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, err := r.state(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		ep := ms.epoch.Load()
+		if ep == nil {
+			return nil, nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		}
+		v := pickVersion(ep, version, key)
+		if v == nil {
+			return nil, nil, fmt.Errorf("%w: %q has no version %q", ErrUnknownModel, name, version)
+		}
+		v.inflight.Add(1)
+		if v.retired.Load() {
+			// Lost the race with a swap: this version left the epoch between
+			// our load and the increment. Undo and resolve afresh.
+			v.inflight.Add(-1)
+			continue
+		}
+		return v, func() { v.inflight.Add(-1) }, nil
+	}
+}
+
+// pickVersion selects within one epoch: a pinned version by label, @latest
+// as the newest live version (the canary during a rollout), and the
+// unpinned form as the canary-weighted serving mix. Returns nil for an
+// unknown pin.
+func pickVersion(ep *modelEpoch, version, key string) *modelVersion {
+	switch version {
+	case "":
+		if ep.canary != nil && routeCanary(ep, key) {
+			return ep.canary
+		}
+		return ep.stable
+	case "latest":
+		if ep.canary != nil {
+			return ep.canary
+		}
+		return ep.stable
+	case ep.stable.version:
+		return ep.stable
+	default:
+		if ep.canary != nil && ep.canary.version == version {
+			return ep.canary
+		}
+		return nil
+	}
+}
+
+// routeCanary decides one unpinned request. Keyed requests hash against
+// the epoch seed — the same key routes the same way for the epoch's whole
+// life, so a user session never flaps between weight versions mid-rollout.
+// Unkeyed requests take an exact deterministic stride: of any N consecutive
+// arrivals, floor-exactly pct% land on the canary (a Bresenham split, not a
+// coin flip), so observed share converges to the configured share as fast
+// as arithmetic allows.
+func routeCanary(ep *modelEpoch, key string) bool {
+	pct := uint64(ep.percent)
+	if key != "" {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(key))
+		return splitmix64(h.Sum64()^ep.seed)%100 < pct
+	}
+	// Canary iff floor(((n+1)·pct)/100) > floor((n·pct)/100): of any 100
+	// consecutive arrivals exactly pct land on the canary.
+	n := ep.counter.Add(1) - 1
+	return (n*pct)%100+pct >= 100
+}
+
+// splitmix64 is the avalanche mix used to derive per-epoch route bits;
+// identical constants to internal/faults' deterministic schedule.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Invoke runs entry on the model the reference resolves to, with full
+// Service semantics (validation, admission, quarantine). model is "name",
+// "name@latest", or "name@vN".
+func (r *Registry) Invoke(ctx context.Context, model, entry string, args ...Value) (Value, error) {
+	return r.InvokeOpts(ctx, model, entry, args)
+}
+
+// InvokeOpts is Invoke with per-request options. WithRouteKey pins the
+// request's canary-split decision for the epoch's life; priority and
+// deadline options pass through to the resolved Service.
+func (r *Registry) InvokeOpts(ctx context.Context, model, entry string, args []Value, opts ...InvokeOption) (Value, error) {
+	if r.closed.Load() {
+		return Value{}, fmt.Errorf("nimble: registry: %w", ErrClosed)
+	}
+	v, release, err := r.route(model, routeKeyOf(opts))
+	if err != nil {
+		return Value{}, err
+	}
+	defer release()
+	return v.svc.InvokeOpts(ctx, entry, args, opts...)
+}
+
+// InvokeStream opens a token stream on the resolved model version, with
+// Service.InvokeStream's synchronous-open semantics. The version is held
+// for the stream's whole life: a hot-swap concurrent with an open stream
+// waits for it (within the drain bound) before the old version's sessions
+// are released.
+func (r *Registry) InvokeStream(ctx context.Context, model, entry string, args ...Value) (*Stream, error) {
+	return r.InvokeStreamOpts(ctx, model, entry, args)
+}
+
+// InvokeStreamOpts is InvokeStream with per-request options.
+func (r *Registry) InvokeStreamOpts(ctx context.Context, model, entry string, args []Value, opts ...InvokeOption) (*Stream, error) {
+	if r.closed.Load() {
+		return nil, fmt.Errorf("nimble: registry: %w", ErrClosed)
+	}
+	v, release, err := r.route(model, routeKeyOf(opts))
+	if err != nil {
+		return nil, err
+	}
+	st, err := v.svc.InvokeStreamOpts(ctx, entry, args, opts...)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	// The version ref lives as long as the stream: released strictly after
+	// the producer unwound (session back in its pool, in-flight counts
+	// decremented), so a drain that sees inflight==0 knows the Service
+	// holds no more work for it.
+	go func() {
+		<-st.done
+		release()
+	}()
+	return st, nil
+}
+
+// Program resolves a model reference to the deployed Program serving it
+// right now — "name" and "name@latest" follow the same resolution as
+// Invoke (without consuming a canary-split slot) — for introspection:
+// entry signatures, disassembly, stats.
+func (r *Registry) Program(model string) (*Program, error) {
+	name, version, err := splitModelRef(model)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := r.state(name)
+	if err != nil {
+		return nil, err
+	}
+	ep := ms.epoch.Load()
+	if ep == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	// Introspection pins nothing: resolve the mix's stable side for the
+	// unpinned form (canary and stable share the model family's surface).
+	if version == "" {
+		version = ep.stable.version
+	}
+	if v := pickVersion(ep, version, ""); v != nil {
+		return v.prog, nil
+	}
+	return nil, fmt.Errorf("%w: %q has no version %q", ErrUnknownModel, name, version)
+}
+
+// VersionState labels a deployed version's role in its model's epoch.
+type VersionState string
+
+const (
+	// VersionStable serves the non-canary share of unpinned traffic.
+	VersionStable VersionState = "stable"
+	// VersionCanary serves the configured percentage of unpinned traffic.
+	VersionCanary VersionState = "canary"
+)
+
+// VersionStatus reports one live version of a model.
+type VersionStatus struct {
+	Version string       `json:"version"`
+	State   VersionState `json:"state"`
+	// Percent is the canary's share of unpinned traffic; 0 for stable.
+	Percent int `json:"percent,omitempty"`
+	// InFlight counts requests and open streams currently holding this
+	// version (the resolve-to-completion window).
+	InFlight int64     `json:"in_flight"`
+	Deployed time.Time `json:"deployed"`
+	Stats    ServiceStats
+	Health   Health
+}
+
+// ModelStatus reports one model name and its live versions, stable first.
+type ModelStatus struct {
+	Name     string          `json:"name"`
+	Versions []VersionStatus `json:"versions"`
+}
+
+// Models snapshots every deployed model in deploy order.
+func (r *Registry) Models() []ModelStatus {
+	r.mu.Lock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	r.mu.Unlock()
+	out := make([]ModelStatus, 0, len(names))
+	for _, name := range names {
+		v, ok := r.models.Load(name)
+		if !ok {
+			continue
+		}
+		ms := v.(*modelState)
+		ep := ms.epoch.Load()
+		st := ModelStatus{Name: name}
+		for _, mv := range ep.live() {
+			vs := VersionStatus{
+				Version:  mv.version,
+				State:    VersionStable,
+				InFlight: mv.inflight.Load(),
+				Deployed: mv.deployed,
+				Stats:    mv.svc.Stats(),
+				Health:   mv.svc.Health(),
+			}
+			if mv == ep.canary {
+				vs.State = VersionCanary
+				vs.Percent = ep.percent
+			}
+			st.Versions = append(st.Versions, vs)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// SharedStorageStats snapshots the cross-program storage pool; ok is false
+// when the registry was built WithoutSharedStorage.
+func (r *Registry) SharedStorageStats() (SharedStorageStats, bool) {
+	if r.shared == nil {
+		return SharedStorageStats{}, false
+	}
+	return r.shared.Stats(), true
+}
+
+// Shutdown closes the registry gracefully: new Deploys and Invokes fail
+// with ErrClosed immediately, every live version of every model drains
+// (in-flight requests and open streams get until ctx is done), and any
+// background swap drains still running are awaited under the same bound.
+// A nil error means everything drained.
+func (r *Registry) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed.Swap(true) {
+		r.mu.Unlock()
+		return nil
+	}
+	var live []*modelVersion
+	r.models.Range(func(_, v any) bool {
+		live = append(live, v.(*modelState).epoch.Load().live()...)
+		return true
+	})
+	r.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, v := range live {
+		wg.Add(1)
+		go func(v *modelVersion) {
+			defer wg.Done()
+			r.drainVersion(ctx, v)
+		}(v)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		r.drains.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("nimble: registry: drain window expired: %w", ErrClosed)
+	}
+}
+
+// Close shuts the registry down with a bounded default drain (5s), like
+// Service.Close. Idempotent.
+func (r *Registry) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = r.Shutdown(ctx)
+}

@@ -162,7 +162,7 @@ func (p *Program) buildService(cfg serviceConfig) (*Service, error) {
 	if lanes <= 0 {
 		lanes = 1
 	}
-	pool, err := serve.NewPool(p.exe, workers)
+	pool, err := serve.NewPoolShared(p.exe, workers, cfg.sharedStorage)
 	if err != nil {
 		return nil, err
 	}
